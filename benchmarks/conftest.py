@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure/claim of the paper (see the
+per-experiment index in DESIGN.md).  Results are printed AND persisted to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can cite them.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record(experiment: str, lines):
+    """Print a result block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    banner = f"\n===== {experiment} =====\n{text}\n"
+    print(banner)
+    with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,76 @@
+"""E20 — ablation: interval routing vs heavy-path routing on trees.
+
+Both implement Theorem 1's tree routing; they sit at opposite corners of
+the label/table economy:
+
+* interval routing: 1-id labels, O(deg log n)-bit tables;
+* heavy-path (TZ): O(log n)-bit tables, labels up to O(log n log d).
+
+Measured on random trees (bounded degree) and stars (the adversarial
+case), both routing optimally.
+"""
+
+import random
+
+from conftest import record
+from repro.algebra import UsablePath
+from repro.graphs import assign_uniform_weight, random_tree, star
+from repro.routing import (
+    IntervalRoutingScheme,
+    TreeRoutingScheme,
+    memory_report,
+)
+
+
+def _measure(tree_factory, sizes):
+    rows = []
+    for n in sizes:
+        tree = tree_factory(n)
+        assign_uniform_weight(tree, 1)
+        interval = IntervalRoutingScheme(tree, UsablePath(), tree=tree,
+                                         check_properties=False)
+        heavy = TreeRoutingScheme(tree, UsablePath(), tree=tree,
+                                  check_properties=False)
+        i_mem = memory_report(interval)
+        h_mem = memory_report(heavy)
+        rows.append((
+            n,
+            i_mem.max_bits, i_mem.max_label_bits,
+            h_mem.max_bits, h_mem.max_label_bits,
+        ))
+    return rows
+
+
+def test_interval_vs_heavy_on_random_trees(benchmark):
+    sizes = (64, 256, 1024)
+    rows = benchmark.pedantic(
+        _measure,
+        args=(lambda n: random_tree(n, rng=random.Random(n)), sizes),
+        rounds=1, iterations=1,
+    )
+    lines = ["n      interval(table/label)   heavy-path(table/label)"]
+    lines += [
+        f"{n:<7d}{it:>5d} / {il:<14d}{ht:>5d} / {hl:d}"
+        for n, it, il, ht, hl in rows
+    ]
+    record("ablation_interval_random_trees", lines)
+    for n, i_table, i_label, h_table, h_label in rows:
+        assert i_label <= h_label          # interval labels never longer
+        # random trees have modest degree: both tables stay small
+        assert i_table < 40 * (n.bit_length())
+
+
+def test_interval_vs_heavy_on_stars(benchmark):
+    sizes = (64, 256, 1024)
+    rows = benchmark.pedantic(_measure, args=(star, sizes), rounds=1, iterations=1)
+    lines = ["n      interval(table/label)   heavy-path(table/label)"]
+    lines += [
+        f"{n:<7d}{it:>7d} / {il:<12d}{ht:>5d} / {hl:d}"
+        for n, it, il, ht, hl in rows
+    ]
+    record("ablation_interval_stars", lines)
+    for n, i_table, _, h_table, _ in rows:
+        # the star hub: interval tables grow linearly with degree, heavy's
+        # stay logarithmic — Theorem 1's O(log n) claim needs the latter
+        assert i_table > (n - 1)
+        assert h_table < 20 * n.bit_length()

@@ -1,0 +1,52 @@
+"""E17 — ablation: landmark-selection strategies for the Cowen scheme.
+
+Compares the three strategies (Thorup-Zwick-style random sampling, Cowen's
+greedy cluster-capping, and degree-ranked landmarks) on memory, stretch
+and landmark-set size, across an expander-like and a scale-free topology.
+All must stay within the Theorem 3 stretch-3 bound; they differ in where
+the memory goes (landmark table vs clusters).
+"""
+
+import random
+
+import pytest
+
+from conftest import record
+from repro.algebra import ShortestPath
+from repro.core import evaluate_scheme
+from repro.graphs import assign_random_weights, barabasi_albert, erdos_renyi
+from repro.routing import STRATEGIES, CowenScheme, memory_report
+
+TOPOLOGIES = {
+    "erdos-renyi": lambda: erdos_renyi(96, rng=random.Random(1)),
+    "barabasi-albert": lambda: barabasi_albert(96, m=2, rng=random.Random(2)),
+}
+
+
+def _run(strategy, topology_factory):
+    algebra = ShortestPath(max_weight=16)
+    graph = topology_factory()
+    assign_random_weights(graph, algebra, rng=random.Random(3))
+    scheme = CowenScheme(graph, algebra, strategy=strategy, rng=random.Random(4))
+    report = evaluate_scheme(graph, algebra, scheme)
+    memory = memory_report(scheme)
+    return scheme, report, memory
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES), ids=str)
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=str)
+def test_landmark_ablation(benchmark, strategy, topology):
+    scheme, report, memory = benchmark.pedantic(
+        _run, args=(strategy, TOPOLOGIES[topology]), rounds=1, iterations=1
+    )
+    record(
+        f"ablation_landmarks_{strategy}_{topology}",
+        [
+            f"landmarks: {len(scheme.landmarks)}  max cluster: "
+            f"{scheme.max_cluster_size()}",
+            f"memory: max {memory.max_bits}b avg {memory.avg_bits:.0f}b",
+            report.summary(),
+        ],
+    )
+    assert report.all_delivered
+    assert report.stretch.stretch3_holds

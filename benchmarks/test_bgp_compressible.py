@@ -1,0 +1,86 @@
+"""E12/E13 — Theorems 6 and 7: B1/B2 become compressible under A1 + A2.
+
+Builds growing provider hierarchies (B1) and multi-cone internets with a
+tier-1 peer mesh (B2), runs the compact tree schemes, verifies every
+realized path is traversable (hence preferred — all traversable paths are
+equally preferred in B1/B2), and checks the per-node memory stays
+logarithmic while a plain per-destination BGP RIB would be linear.
+"""
+
+import math
+import random
+
+from conftest import record
+from repro.algebra import provider_customer_algebra, valley_free_algebra
+from repro.core import build_scheme, evaluate_scheme, loglog_slope
+from repro.graphs import coned_as_topology, provider_tree_topology
+from repro.routing import memory_report
+
+B1_SIZES = (32, 96, 288, 864)
+
+
+def _pairs(graph, n):
+    """All pairs for small instances; a 4000-pair sample beyond."""
+    from repro.core import sample_pairs
+
+    if n <= 300:
+        return None
+    return sample_pairs(graph, count=4000, rng=random.Random(n))
+B2_SCALES = (2, 6, 18, 54)  # nodes = 3 + 3*(scale + 3*scale)
+
+
+def _run_b1():
+    algebra = provider_customer_algebra()
+    rows = []
+    for n in B1_SIZES:
+        graph = provider_tree_topology(n, rng=random.Random(n), max_providers=3)
+        scheme = build_scheme(graph, algebra)
+        report = evaluate_scheme(graph, algebra, scheme, pairs=_pairs(graph, n))
+        rows.append((n, memory_report(scheme).max_bits, report))
+    return rows
+
+
+def _run_b2():
+    algebra = valley_free_algebra()
+    rows = []
+    for scale in B2_SCALES:
+        graph = coned_as_topology(3, scale, 3 * scale, rng=random.Random(scale))
+        n = graph.number_of_nodes()
+        scheme = build_scheme(graph, algebra)
+        report = evaluate_scheme(graph, algebra, scheme, pairs=_pairs(graph, n))
+        rows.append((n, memory_report(scheme).max_bits, report))
+    return rows
+
+
+def test_theorem6_b1_compressible(benchmark):
+    rows = benchmark.pedantic(_run_b1, rounds=1, iterations=1)
+    lines = [
+        f"n={n:4d}  max bits={bits:4d}  {report.summary()}"
+        for n, bits, report in rows
+    ]
+    ns = [n for n, _, _ in rows]
+    bits = [b for _, b, _ in rows]
+    slope = loglog_slope(ns, bits)
+    lines.append(f"log-log slope: {slope:.2f} (Theta(log n) predicted)")
+    record("theorem6_b1_scheme", lines)
+    for n, b, report in rows:
+        assert report.all_delivered and report.all_optimal
+        assert b <= 14 * math.log2(n)
+    assert slope < 0.5
+
+
+def test_theorem7_b2_compressible(benchmark):
+    rows = benchmark.pedantic(_run_b2, rounds=1, iterations=1)
+    lines = [
+        f"n={n:4d}  max bits={bits:4d}  {report.summary()}"
+        for n, bits, report in rows
+    ]
+    ns = [n for n, _, _ in rows]
+    bits = [b for _, b, _ in rows]
+    slope = loglog_slope(ns, bits)
+    lines.append(f"log-log slope: {slope:.2f} (Theta(log n) predicted)")
+    record("theorem7_b2_scheme", lines)
+    for n, b, report in rows:
+        assert report.all_delivered and report.all_optimal
+        assert b <= 14 * math.log2(n)
+    assert slope < 0.5

@@ -1,0 +1,94 @@
+"""E11/E14 — Theorems 5 and 8: BGP incompressibility, measured.
+
+On the directed Fig. 2 construction: B1's preferred center→target paths
+have weight ``c`` while every alternative is untraversable (phi); with the
+Theorem 8 peer augmentation A1 is restored, alternatives become ``r`` or
+phi, and — since ``c^k = c ≺ r`` — every stretch-k scheme still must route
+on the exact customer paths.  The counting argument then yields the same
+delta^|T| distinct forwarding functions as E8.
+"""
+
+import pytest
+
+from conftest import record
+from repro.algebra import (
+    CUSTOMER,
+    prefer_customer_algebra,
+    provider_customer_algebra,
+)
+from repro.graphs import fig2_bgp_instance, satisfies_a1, satisfies_a2
+from repro.lowerbounds import center_forwarding_map, verify_preferred_paths_forced
+from repro.graphs.lowerbound import all_words
+import itertools
+
+
+def _count_bgp_family(p, delta, targets, peer_augment):
+    """delta^|T|-style counting on the directed (Theorem 5/8) family."""
+    seen = set()
+    family = 0
+    vocabulary = list(all_words(p, delta))
+    for assignment in itertools.product(vocabulary, repeat=targets):
+        family += 1
+        inst = fig2_bgp_instance(p, delta, words=assignment,
+                                 peer_augment=peer_augment)
+        seen.add(center_forwarding_map(inst, 0))
+    return family, len(seen)
+
+
+def _forcing(algebra, peer_augment, k):
+    inst = fig2_bgp_instance(2, 3, peer_augment=peer_augment)
+    return inst, verify_preferred_paths_forced(inst, algebra, k)
+
+
+def test_theorem5_b1_forcing(benchmark):
+    inst, result = benchmark.pedantic(
+        _forcing, args=(provider_customer_algebra(), False, 8),
+        rounds=1, iterations=1,
+    )
+    record(
+        "theorem5_b1",
+        [
+            f"instance: {inst.n} nodes, A2={satisfies_a2(inst.graph)}",
+            f"preferred paths forced at stretch 8: {result.all_forced} "
+            f"({result.forced_pairs}/{result.checked_pairs})",
+        ],
+    )
+    assert result.all_forced
+
+
+def test_theorem8_b3_forcing_under_a1(benchmark):
+    inst, result = benchmark.pedantic(
+        _forcing, args=(prefer_customer_algebra(), True, 8),
+        rounds=1, iterations=1,
+    )
+    record(
+        "theorem8_b3",
+        [
+            f"instance: {inst.n} nodes, A1={satisfies_a1(inst.graph)}, "
+            f"A2={satisfies_a2(inst.graph)}",
+            f"customer paths forced at stretch 8: {result.all_forced} "
+            f"({result.forced_pairs}/{result.checked_pairs})",
+        ],
+    )
+    assert satisfies_a1(inst.graph)  # Theorem 8 holds EVEN under A1+A2
+    assert result.all_forced
+
+
+@pytest.mark.parametrize("peer_augment", [False, True],
+                         ids=["thm5-plain", "thm8-peered"])
+def test_bgp_family_counting(benchmark, peer_augment):
+    p, delta, targets = 2, 2, 3
+    family, distinct = benchmark.pedantic(
+        _count_bgp_family, args=(p, delta, targets, peer_augment),
+        rounds=1, iterations=1,
+    )
+    record(
+        f"bgp_counting_{'peered' if peer_augment else 'plain'}",
+        [
+            f"family of {family} directed instances (p={p}, delta={delta}, "
+            f"|T|={targets})",
+            f"distinct forced forwarding functions at center 0: {distinct} "
+            f"(predicted delta^|T| = {delta ** targets})",
+        ],
+    )
+    assert distinct == delta ** targets

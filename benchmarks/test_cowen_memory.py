@@ -1,0 +1,56 @@
+"""E10 — Theorem 3 memory: the compact scheme's sublinear table growth.
+
+Measures the Cowen scheme's worst-case per-node bits against destination
+tables over growing n.  The paper's bound is O(n^(2/3)) for Cowen's
+landmark selection and ~O(sqrt n) for the Thorup-Zwick-style random
+sampling; measured log-log slopes should sit clearly below the table
+scheme's slope ~1, and the absolute bits should cross over in the compact
+scheme's favor as n grows.
+"""
+
+import random
+
+from conftest import record
+from repro.algebra import ShortestPath
+from repro.core import fit_scaling, is_sublinear
+from repro.graphs import assign_random_weights, erdos_renyi
+from repro.routing import CowenScheme, DestinationTableScheme, memory_report
+
+SIZES = (48, 96, 192, 384, 768)
+
+
+def _measure():
+    algebra = ShortestPath(max_weight=16)
+    table_bits, cowen_bits = [], []
+    for n in SIZES:
+        rng = random.Random(n)
+        graph = erdos_renyi(n, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        table_bits.append(
+            memory_report(DestinationTableScheme(graph, algebra)).max_bits
+        )
+        scheme = CowenScheme(graph, algebra, strategy="random",
+                             rng=random.Random(n + 1))
+        cowen_bits.append(memory_report(scheme).max_bits)
+    return table_bits, cowen_bits
+
+
+def test_cowen_memory_sublinear(benchmark):
+    table_bits, cowen_bits = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_fit = fit_scaling(SIZES, table_bits)
+    cowen_fit = fit_scaling(SIZES, cowen_bits)
+    lines = ["n     dest-table bits   cowen bits"]
+    lines += [
+        f"{n:<6d}{tb:<18d}{cb:d}"
+        for n, tb, cb in zip(SIZES, table_bits, cowen_bits)
+    ]
+    lines.append(f"dest-table: {table_fit.summary()}")
+    lines.append(f"cowen:      {cowen_fit.summary()}")
+    record("cowen_memory", lines)
+
+    # tables are linear; the compact scheme is clearly sublinear
+    assert table_fit.loglog_slope > 0.85
+    assert cowen_fit.loglog_slope < table_fit.loglog_slope - 0.2
+    assert is_sublinear(SIZES, cowen_bits)
+    # crossover: by the largest size the compact scheme stores fewer bits
+    assert cowen_bits[-1] < table_bits[-1]

@@ -1,0 +1,71 @@
+"""E9 — Theorem 3: the generalized Cowen scheme is stretch-3.
+
+Routes every pair on several topology families under every delimited
+regular catalog algebra and reports the stretch distribution.  The theorem
+predicts max stretch <= 3 everywhere, degenerating to exactly 1 for the
+selective algebras (widest/usable path, where w^k = w).
+"""
+
+import random
+
+import pytest
+
+from conftest import record
+from repro.algebra import (
+    MostReliablePath,
+    ShortestPath,
+    WidestPath,
+    widest_shortest_path,
+)
+from repro.core import evaluate_scheme
+from repro.graphs import (
+    assign_random_weights,
+    barabasi_albert,
+    erdos_renyi,
+    fat_tree,
+    grid,
+    waxman,
+)
+from repro.routing import CowenScheme
+
+TOPOLOGIES = {
+    "erdos-renyi": lambda: erdos_renyi(48, rng=random.Random(1)),
+    "barabasi-albert": lambda: barabasi_albert(48, m=2, rng=random.Random(2)),
+    "grid": lambda: grid(7, 7),
+    "waxman": lambda: waxman(48, rng=random.Random(3)),
+    "fat-tree": lambda: fat_tree(4),
+}
+
+ALGEBRAS = [
+    (ShortestPath(max_weight=16), 3),
+    (MostReliablePath(denominator=16), 3),
+    (widest_shortest_path(16, 16), 3),
+    (WidestPath(max_capacity=16), 1),
+]
+
+
+def _run(algebra, topology_factory):
+    graph = topology_factory()
+    assign_random_weights(graph, algebra, rng=random.Random(3))
+    scheme = CowenScheme(graph, algebra, rng=random.Random(4))
+    return evaluate_scheme(graph, algebra, scheme)
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES), ids=str)
+@pytest.mark.parametrize("algebra,max_expected", ALGEBRAS,
+                         ids=lambda v: v.name if hasattr(v, "name") else str(v))
+def test_cowen_stretch3(benchmark, algebra, max_expected, topology):
+    report = benchmark.pedantic(
+        _run, args=(algebra, TOPOLOGIES[topology]), rounds=1, iterations=1
+    )
+    record(
+        f"cowen_stretch_{algebra.name}_{topology}",
+        [
+            report.summary(),
+            f"stretch distribution: optimal {report.stretch.within_1}, "
+            f"<=3 {report.stretch.within_3}, beyond {report.stretch.unbounded}",
+        ],
+    )
+    assert report.all_delivered
+    assert report.stretch.stretch3_holds
+    assert report.stretch.max_stretch <= max_expected

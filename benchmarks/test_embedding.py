@@ -1,0 +1,85 @@
+"""E15 — Lemma 2: cyclic subsemigroup embeddings of shortest-path routing.
+
+For the incompressible Table 1 policies (R, WS) the proof exhibits a
+weight ``w`` whose powers form an infinite, order-isomorphic copy of
+``(N, inf, +, <=)``; the reduction relabels any shortest-path instance
+into the host algebra with identical preferred paths.  The benchmark
+verifies the isomorphism and the reduction on random graphs, and confirms
+its *absence* for the compressible (selective) policies.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from conftest import record
+from repro.algebra import (
+    MostReliablePath,
+    ShortestPath,
+    UsablePath,
+    WidestPath,
+    cyclic_subsemigroup,
+    embeds_shortest_path,
+    relabel_shortest_path_instance,
+    widest_shortest_path,
+)
+from repro.graphs import assign_random_weights, erdos_renyi
+from repro.paths import preferred_path_tree
+
+EMBEDDING_CASES = [
+    (MostReliablePath(), Fraction(1, 2), True),
+    (widest_shortest_path(), (2, 5), True),
+    (ShortestPath(), 3, True),
+    (WidestPath(), 7, False),
+    (UsablePath(), 1, False),
+]
+
+
+@pytest.mark.parametrize("algebra,generator,expected", EMBEDDING_CASES,
+                         ids=lambda v: v.name if hasattr(v, "name") else str(v))
+def test_embedding_presence(benchmark, algebra, generator, expected):
+    embeds = benchmark.pedantic(
+        embeds_shortest_path, args=(algebra, generator), kwargs={"bound": 24},
+        rounds=1, iterations=1,
+    )
+    sub = cyclic_subsemigroup(algebra, generator, bound=24)
+    record(
+        f"embedding_{algebra.name}",
+        [
+            f"generator {generator!r}: cyclic subsemigroup order "
+            f"{'>=24 (infinite)' if sub.infinite_up_to_bound else len(sub.elements)}",
+            f"order-isomorphic to (N, +, <=): {embeds}",
+        ],
+    )
+    assert embeds == expected
+
+
+def test_reduction_preserves_preferred_paths(benchmark):
+    """The Lemma 2 reduction, end to end on random instances."""
+
+    def run():
+        algebra = MostReliablePath()
+        mismatches = 0
+        checked = 0
+        for seed in range(4):
+            rng = random.Random(seed)
+            graph = erdos_renyi(14, rng=rng)
+            assign_random_weights(graph, ShortestPath(max_weight=4), rng=rng)
+            relabeled = relabel_shortest_path_instance(graph, algebra, Fraction(1, 2))
+            for root in (0, 5):
+                s_tree = preferred_path_tree(graph, ShortestPath(), root)
+                r_tree = preferred_path_tree(relabeled, algebra, root)
+                for target, weight in s_tree.weight.items():
+                    checked += 1
+                    if r_tree.weight[target] != Fraction(1, 2) ** weight:
+                        mismatches += 1
+        return checked, mismatches
+
+    checked, mismatches = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "lemma2_reduction",
+        [f"checked {checked} (root, target) pairs across 4 random graphs",
+         f"weight correspondence w^d mismatches: {mismatches}"],
+    )
+    assert mismatches == 0

@@ -1,0 +1,50 @@
+"""E7 — Fig. 1: the three selectivity-violation counterexamples of Lemma 1.
+
+For each violation mode the preferred paths are verified to be exactly the
+paths the proof claims (direct edges, plus two-hop diagonals for 1c), and
+the graph is exhaustively shown to admit NO preferred spanning tree.
+"""
+
+from conftest import record
+from repro.algebra import ShortestPath
+from repro.graphs import fig1a, fig1b, fig1c
+from repro.paths import maps_to_tree, preferred_by_enumeration
+
+
+def _analyze():
+    algebra = ShortestPath()
+    cases = [
+        ("fig1a: w ⊕ w ≻ w", fig1a(3), [(1, 2), (2, 3), (1, 3)], []),
+        ("fig1b: w1 ≺ w2, w1 ⊕ w2 ≻ w2", fig1b(1, 4),
+         [(1, 2), (2, 3), (1, 3)], []),
+        ("fig1c: w1 = w2, w1 ⊕ w2 ≻ w2", fig1c(2, 2),
+         [(1, 2), (2, 4), (3, 4), (1, 3)], [(1, 4), (2, 3)]),
+    ]
+    lines = []
+    outcomes = []
+    for name, graph, direct_pairs, two_hop_pairs in cases:
+        direct_ok = all(
+            preferred_by_enumeration(graph, algebra, s, t).path == (s, t)
+            for s, t in direct_pairs
+        )
+        two_hop_ok = all(
+            len(preferred_by_enumeration(graph, algebra, s, t).path) == 3
+            for s, t in two_hop_pairs
+        )
+        tree_exists = maps_to_tree(graph, algebra)
+        lines.append(
+            f"{name}: direct-edge preferred paths {direct_ok}, "
+            f"two-hop diagonals {two_hop_ok if two_hop_pairs else 'n/a'}, "
+            f"preferred spanning tree exists: {tree_exists}"
+        )
+        outcomes.append((direct_ok, two_hop_ok, tree_exists))
+    return lines, outcomes
+
+
+def test_fig1_counterexamples(benchmark):
+    lines, outcomes = benchmark.pedantic(_analyze, rounds=1, iterations=1)
+    record("fig1_counterexamples", lines)
+    for direct_ok, two_hop_ok, tree_exists in outcomes:
+        assert direct_ok
+        assert two_hop_ok
+        assert not tree_exists  # Lemma 1: no preferred spanning tree

@@ -1,0 +1,54 @@
+"""E8 — Fig. 2 / Theorem 4: the information-theoretic lower bound, measured.
+
+Enumerates the Fig. 2 graph family for several (p, delta, |T|) parameter
+points, verifies the condition (1) forcing premise on a representative
+instance, and counts the distinct forced forwarding functions per center —
+which must equal delta^|T| (log2 of which is the paper's Omega(n log delta)
+bit bound with |T| = Theta(n) targets).
+"""
+
+import math
+
+import pytest
+
+from conftest import record
+from repro.algebra import shortest_widest_path
+from repro.graphs import fig2_instance
+from repro.lowerbounds import (
+    count_distinct_center_maps,
+    shortest_widest_condition1_weights,
+    verify_preferred_paths_forced,
+)
+
+#: (p, delta, num_targets) points — kept tiny: the family is exponential.
+POINTS = [(2, 2, 3), (2, 2, 4), (2, 3, 2), (3, 2, 2)]
+K = 2
+
+
+def _run_point(p, delta, targets):
+    weights = shortest_widest_condition1_weights(p, K)
+    forcing = verify_preferred_paths_forced(
+        fig2_instance(p, delta, weights), shortest_widest_path(), K
+    )
+    counting = count_distinct_center_maps(p, delta, weights, targets)
+    return forcing, counting
+
+
+@pytest.mark.parametrize("p,delta,targets", POINTS)
+def test_fig2_counting(benchmark, p, delta, targets):
+    forcing, counting = benchmark.pedantic(
+        _run_point, args=(p, delta, targets), rounds=1, iterations=1
+    )
+    record(
+        f"fig2_p{p}_d{delta}_t{targets}",
+        [
+            f"forcing premise (all non-preferred paths beyond stretch {K}): "
+            f"{forcing.all_forced} ({forcing.forced_pairs}/{forcing.checked_pairs})",
+            counting.summary(),
+        ],
+    )
+    assert forcing.all_forced
+    # the paper's count: delta^|T| distinct functions per center
+    for center, distinct in counting.distinct_maps_per_center.items():
+        assert distinct == delta ** targets, (center, distinct)
+    assert counting.measured_bits == pytest.approx(targets * math.log2(delta))

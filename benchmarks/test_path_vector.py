@@ -1,0 +1,79 @@
+"""E21 — the path-vector protocol: convergence scaling and divergence.
+
+Not a table in the paper, but its Section 5 foundation: BGP-style
+path-vector dynamics.  Measures (a) message/activation counts versus n
+for a regular algebra (converging to generalized-Dijkstra routes) and a
+BGP algebra, and (b) the BAD GADGET dispute wheel oscillating under the
+non-monotone algebra of :mod:`repro.protocols.disputes` — the executable
+form of "what if monotonicity fails" (Griffin-Shepherd-Wilfong).
+"""
+
+import random
+
+from conftest import record
+from repro.algebra import ShortestPath, valley_free_algebra
+from repro.graphs import assign_random_weights, coned_as_topology, erdos_renyi
+from repro.protocols import DisputeWheelAlgebra, PathVectorSimulation, bad_gadget
+
+
+def _converge_shortest():
+    rows = []
+    for n in (16, 32, 64):
+        algebra = ShortestPath(max_weight=16)
+        graph = erdos_renyi(n, rng=random.Random(n))
+        assign_random_weights(graph, algebra, rng=random.Random(n + 1))
+        sim = PathVectorSimulation(graph, algebra)
+        report = sim.run()
+        rows.append((n, graph.number_of_edges(), report))
+    return rows
+
+
+def _converge_bgp():
+    rows = []
+    for scale in (2, 6, 12):
+        graph = coned_as_topology(3, scale, 3 * scale, rng=random.Random(scale))
+        sim = PathVectorSimulation(graph, valley_free_algebra())
+        report = sim.run()
+        rows.append((graph.number_of_nodes(), graph.number_of_edges(), report))
+    return rows
+
+
+def test_path_vector_convergence_shortest_path(benchmark):
+    rows = benchmark.pedantic(_converge_shortest, rounds=1, iterations=1)
+    lines = [
+        f"n={n:3d} m={m:4d}  {report.summary()}"
+        for n, m, report in rows
+    ]
+    record("path_vector_shortest", lines)
+    assert all(report.converged for _, _, report in rows)
+    # message complexity grows with the network but stays polynomial-small
+    assert rows[-1][2].messages < 80 * rows[-1][0] ** 2
+
+
+def test_path_vector_convergence_bgp(benchmark):
+    rows = benchmark.pedantic(_converge_bgp, rounds=1, iterations=1)
+    lines = [
+        f"n={n:3d} m={m:4d}  {report.summary()}"
+        for n, m, report in rows
+    ]
+    record("path_vector_bgp", lines)
+    assert all(report.converged for _, _, report in rows)
+
+
+def test_bad_gadget_oscillates(benchmark):
+    def run():
+        sim = PathVectorSimulation(bad_gadget(3), DisputeWheelAlgebra(),
+                                   max_activations=30_000)
+        return sim.run()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "path_vector_bad_gadget",
+        [
+            report.summary(),
+            "no stable state exists on the odd dispute wheel; the protocol "
+            "oscillates until the activation budget cuts it off",
+        ],
+    )
+    assert not report.converged
+    assert report.changed_routes > 10_000

@@ -1,0 +1,55 @@
+"""E19 — Proposition 3: shortest-path routing itself is incompressible.
+
+The Fraigniaud-Gavoille result the whole paper builds on: *exact* (stretch
+< 2... here stretch-1) min-hop routing on the Fig. 2 family must realize
+delta^|T| distinct forwarding functions per center.  Contrast with E8: at
+stretch 3 the min-hop forcing disappears (detours satisfy the bound), so
+plain shortest-path escapes the counting argument through stretch — which
+is precisely why compact routing exists (Theorem 3), and why the paper's
+Theorem 4 condition (1) is needed to kill stretch for other policies.
+"""
+
+from conftest import record
+from repro.algebra import MinHop
+from repro.graphs import fig2_instance
+from repro.lowerbounds import (
+    count_distinct_center_maps,
+    verify_preferred_paths_forced,
+)
+
+P, DELTA, TARGETS = 2, 2, 4
+
+
+def _run():
+    weights = [1] * P
+    stretch1 = verify_preferred_paths_forced(
+        fig2_instance(P, DELTA, weights), MinHop(), k=1
+    )
+    stretch3 = verify_preferred_paths_forced(
+        fig2_instance(P, DELTA, weights), MinHop(), k=3
+    )
+    counting = count_distinct_center_maps(P, DELTA, weights, TARGETS)
+    return stretch1, stretch3, counting
+
+
+def test_prop3_exact_min_hop_incompressible(benchmark):
+    stretch1, stretch3, counting = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(
+        "prop3_min_hop",
+        [
+            f"stretch-1 forcing: {stretch1.all_forced} "
+            f"({stretch1.forced_pairs}/{stretch1.checked_pairs})",
+            f"stretch-3 forcing: {stretch3.all_forced} "
+            f"({stretch3.forced_pairs}/{stretch3.checked_pairs}) "
+            f"— stretch rescues shortest path (Theorem 3)",
+            counting.summary(),
+        ],
+    )
+    # exact routing is forced onto the unique min-hop paths ...
+    assert stretch1.all_forced
+    # ... but stretch-3 routing is not (no condition (1) structure in S)
+    assert not stretch3.all_forced
+    # and the forced functions realize the full delta^|T| count
+    assert all(
+        v == DELTA ** TARGETS for v in counting.distinct_maps_per_center.values()
+    )

@@ -1,0 +1,72 @@
+"""E26 — the three routing paradigms on one instance.
+
+Link-state, distance-vector and path-vector all realize shortest-path
+routing on the same graphs; they differ in *what* they ship and *what*
+they store:
+
+* link-state: floods the topology — most messages carry LSAs, every node
+  stores Theta(m log W) bits of database besides its table;
+* distance-vector: ships (dest, weight) vectors — least state, but only
+  exact for regular algebras (E22) and failure-fragile;
+* path-vector: ships full paths — message sizes grow, but policies and
+  loop suppression come for free (Section 5's reason to exist).
+
+The experiment measures rounds/activations, message counts and per-node
+state for all three on growing ER graphs, with all route sets verified
+identical.
+"""
+
+import random
+
+from conftest import record
+from repro.algebra import ShortestPath
+from repro.graphs import assign_random_weights, erdos_renyi
+from repro.protocols import (
+    DistanceVectorSimulation,
+    LinkStateSimulation,
+    PathVectorSimulation,
+)
+
+SIZES = (16, 32, 64)
+
+
+def _compare():
+    algebra = ShortestPath(max_weight=16)
+    rows = []
+    for n in SIZES:
+        rng = random.Random(n)
+        graph = erdos_renyi(n, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+
+        ls = LinkStateSimulation(graph, algebra)
+        ls_report = ls.run()
+        dv = DistanceVectorSimulation(graph, algebra)
+        dv_report = dv.run()
+        pv = PathVectorSimulation(graph, algebra)
+        pv_report = pv.run()
+
+        agree = all(
+            algebra.eq(ls.weight(s, t), dv.weight(s, t))
+            and algebra.eq(dv.weight(s, t), pv.route(s, t).weight)
+            for s in list(graph.nodes())[:6]
+            for t in graph.nodes()
+            if s != t
+        )
+        lsdb = max(ls.lsdb_bits(v) for v in graph.nodes())
+        rows.append((n, ls_report, dv_report, pv_report, lsdb, agree))
+    return rows
+
+
+def test_three_paradigms(benchmark):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    lines = []
+    for n, ls, dv, pv, lsdb, agree in rows:
+        lines.append(
+            f"n={n:3d}  LS: {ls.rounds} rounds/{ls.lsa_transmissions} LSAs "
+            f"(db {lsdb}b)  DV: {dv.rounds} rounds/{dv.vector_exchanges} vecs  "
+            f"PV: {pv.activations} acts/{pv.messages} msgs  agree={agree}"
+        )
+    record("protocol_comparison", lines)
+    for n, ls, dv, pv, lsdb, agree in rows:
+        assert ls.converged and dv.converged and pv.converged
+        assert agree

@@ -1,0 +1,90 @@
+"""E22/E23 — protocol-level experiments.
+
+E22 (Proposition 2, distributed form): distance-vector routing converges
+to exact preferred weights for regular algebras but measurably
+suboptimal ones for shortest-widest path — per-destination state cannot
+express a non-isotone policy no matter how it is computed.
+
+E23 (footnote 5): the distributed spanning tree protocol elects a tree;
+usable-path tree routing over it delivers 100% on preferred paths with
+logarithmic per-bridge state — Ethernet as a corollary of Theorem 1.
+"""
+
+import random
+
+from conftest import record
+from repro.algebra import UsablePath, shortest_widest_path, widest_shortest_path
+from repro.algebra.base import PHI
+from repro.graphs import assign_random_weights, assign_uniform_weight, erdos_renyi
+from repro.paths import all_pairs_shortest_widest, preferred_path_tree
+from repro.protocols import SpanningTreeProtocol, suboptimality_report
+from repro.routing import TreeRoutingScheme, memory_report
+
+
+def _prop2_gap():
+    sw = shortest_widest_path(max_weight=9, max_capacity=9)
+    ws = widest_shortest_path(max_weight=9, max_capacity=9)
+    results = {}
+    for name, algebra in (("shortest-widest (non-isotone)", sw),
+                          ("widest-shortest (regular)", ws)):
+        totals = {"optimal": 0, "suboptimal": 0}
+        for seed in range(4):
+            rng = random.Random(seed)
+            graph = erdos_renyi(14, rng=rng)
+            assign_random_weights(graph, algebra, rng=random.Random(seed + 50))
+            if algebra is sw:
+                routes = all_pairs_shortest_widest(graph)
+
+                def oracle(s, t, routes=routes):
+                    return routes[s][t].weight if t in routes[s] else PHI
+            else:
+                trees = {v: preferred_path_tree(graph, algebra, v)
+                         for v in graph.nodes()}
+
+                def oracle(s, t, trees=trees):
+                    return trees[s].weight.get(t, PHI)
+
+            report = suboptimality_report(graph, algebra, oracle)
+            totals["optimal"] += report["optimal"]
+            totals["suboptimal"] += report["suboptimal"]
+        results[name] = totals
+    return results
+
+
+def test_prop2_distance_vector_gap(benchmark):
+    results = benchmark.pedantic(_prop2_gap, rounds=1, iterations=1)
+    lines = [
+        f"{name}: optimal {t['optimal']}, suboptimal {t['suboptimal']}"
+        for name, t in results.items()
+    ]
+    record("prop2_distance_vector_gap", lines)
+    assert results["widest-shortest (regular)"]["suboptimal"] == 0
+    assert results["shortest-widest (non-isotone)"]["suboptimal"] > 0
+
+
+def _stp_pipeline():
+    rows = []
+    for n in (24, 96, 384):
+        graph = erdos_renyi(n, rng=random.Random(n))
+        assign_uniform_weight(graph, 1)
+        protocol = SpanningTreeProtocol(graph)
+        report = protocol.run()
+        scheme = TreeRoutingScheme(graph, UsablePath(), tree=protocol.tree(),
+                                   check_properties=False)
+        sample = [(0, n - 1), (1, n // 2), (n // 3, n - 2)]
+        delivered = all(scheme.route(s, t).delivered for s, t in sample)
+        rows.append((n, report, memory_report(scheme).max_bits, delivered))
+    return rows
+
+
+def test_stp_to_tree_routing(benchmark):
+    rows = benchmark.pedantic(_stp_pipeline, rounds=1, iterations=1)
+    lines = [
+        f"n={n:4d}  {report.summary()}  tree-routing max bits={bits}"
+        for n, report, bits, _ in rows
+    ]
+    record("stp_usable_path", lines)
+    for n, report, bits, delivered in rows:
+        assert report.converged
+        assert delivered
+        assert bits <= 14 * n.bit_length()

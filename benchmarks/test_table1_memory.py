@@ -1,0 +1,98 @@
+"""E1-E6 — Table 1: local memory requirements of the six routing policies.
+
+For each policy, build the best admissible scheme on growing graphs,
+measure the worst-case per-node table size in bits, fit the scaling law,
+and check it lands in the memory class Table 1 predicts:
+
+=====================  ===========  ==========================
+policy                 paper class  expected measurement
+=====================  ===========  ==========================
+shortest path          Theta(n)     log-log slope ~1
+widest path            Theta(log n) near-flat bits
+most reliable path     Theta(n)     log-log slope ~1
+usable path            Theta(log n) near-flat bits
+widest-shortest path   Theta(n)     log-log slope ~1
+shortest-widest path   Omega(n)     slope ~2 for the pair table
+=====================  ===========  ==========================
+"""
+
+import random
+
+import pytest
+
+from conftest import record
+from repro.algebra import (
+    MostReliablePath,
+    ShortestPath,
+    UsablePath,
+    WidestPath,
+    shortest_widest_path,
+    widest_shortest_path,
+)
+from repro.core import build_scheme, fit_scaling, is_sublinear, is_superlogarithmic
+from repro.graphs import assign_random_weights, erdos_renyi
+from repro.routing import memory_report
+
+SIZES = (32, 64, 128, 256, 512)
+SIZES_SMALL = (16, 24, 32, 48, 64)  # pair tables are O(n^2): keep n modest
+
+
+def _measure(algebra, sizes, seed=0):
+    rows = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+        graph = erdos_renyi(n, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = build_scheme(graph, algebra, rng=random.Random(seed + n + 1))
+        rows.append((n, memory_report(scheme).max_bits))
+    return rows
+
+
+def _report(name, rows, fit):
+    lines = [f"policy: {name}"]
+    lines += [f"  n={n:4d}  max table bits={bits}" for n, bits in rows]
+    lines.append(f"  {fit.summary()}")
+    return lines
+
+
+@pytest.mark.parametrize(
+    "algebra,expect_sublinear",
+    [
+        (ShortestPath(max_weight=64), False),
+        (WidestPath(max_capacity=64), True),
+        (MostReliablePath(denominator=64), False),
+        (UsablePath(), True),
+        (widest_shortest_path(64, 64), False),
+    ],
+    ids=lambda v: v.name if hasattr(v, "name") else str(v),
+)
+def test_table1_memory_scaling(benchmark, algebra, expect_sublinear):
+    rows = benchmark.pedantic(
+        _measure, args=(algebra, SIZES), rounds=1, iterations=1
+    )
+    ns, bits = zip(*rows)
+    fit = fit_scaling(ns, bits)
+    record(f"table1_{algebra.name}", _report(algebra.name, rows, fit))
+    if expect_sublinear:
+        # Theta(log n): sublinear, in fact near-flat
+        assert is_sublinear(ns, bits), fit.summary()
+        assert bits[-1] <= bits[0] + 24
+    else:
+        # Theta(n): clearly super-logarithmic, with slope near 1
+        assert is_superlogarithmic(ns, bits), fit.summary()
+        assert 0.8 <= fit.loglog_slope <= 1.3, fit.summary()
+
+
+def test_table1_shortest_widest_pair_tables(benchmark):
+    """SW row: the trivial pair-table scheme is ~n^2 per router; the paper's
+    Omega(n) lower bound (Theorem 4 witness) lives in E16."""
+    algebra = shortest_widest_path(max_weight=64, max_capacity=64)
+    rows = benchmark.pedantic(
+        _measure, args=(algebra, SIZES_SMALL), rounds=1, iterations=1
+    )
+    ns, bits = zip(*rows)
+    fit = fit_scaling(ns, bits)
+    record("table1_shortest-widest-path", _report(algebra.name, rows, fit))
+    assert is_superlogarithmic(ns, bits)
+    # the per-node worst case for pair tables sits between n and n^2
+    assert fit.loglog_slope > 1.2, fit.summary()

@@ -1,0 +1,62 @@
+"""E16 — Section 4.2: the shortest-widest condition (1) witness family.
+
+Checks the explicit construction ``w_i = (i, (2k)^(i-1))`` for a sweep of
+(p, k), and contrasts with the regular algebras, where randomized search
+must fail for k >= 2 (condition (1) contradicts isotonicity there).
+"""
+
+import random
+
+from conftest import record
+from repro.algebra import (
+    ShortestPath,
+    WidestPath,
+    shortest_widest_path,
+    widest_shortest_path,
+)
+from repro.lowerbounds import (
+    find_condition1_weights,
+    satisfies_condition1,
+    shortest_widest_condition1_weights,
+)
+
+P_VALUES = (2, 3, 4, 6)
+K_VALUES = (1, 2, 3, 4)
+
+
+def _sweep():
+    sw = shortest_widest_path()
+    outcomes = {}
+    for p in P_VALUES:
+        for k in K_VALUES:
+            weights = shortest_widest_condition1_weights(p, k)
+            outcomes[(p, k)] = satisfies_condition1(sw, weights, k).holds
+    return outcomes
+
+
+def test_sw_witness_sweep(benchmark):
+    outcomes = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [
+        f"p={p} k={k}: condition (1) holds = {holds}"
+        for (p, k), holds in sorted(outcomes.items())
+    ]
+    record("theorem4_sw_witness", lines)
+    assert all(outcomes.values())
+
+
+def test_regular_algebras_admit_no_witness(benchmark):
+    def search_all():
+        results = {}
+        for algebra in (ShortestPath(), WidestPath(), widest_shortest_path()):
+            results[algebra.name] = find_condition1_weights(
+                algebra, k=2, rng=random.Random(0), attempts=3000
+            )
+        return results
+
+    results = benchmark.pedantic(search_all, rounds=1, iterations=1)
+    record(
+        "theorem4_regular_no_witness",
+        [f"{name}: witness found = {found is not None}"
+         for name, found in results.items()],
+    )
+    assert all(found is None for found in results.values())

@@ -1,0 +1,77 @@
+"""E24 — workload sensitivity of the compact scheme's stretch.
+
+Theorem 3 bounds the stretch per pair; what a *network* experiences is
+the distribution over its actual traffic.  This experiment routes three
+workloads through the Cowen scheme on a scale-free graph — uniform pairs,
+gravity pairs (hub-weighted), and for BGP a stub-to-stub workload through
+the Theorem 7 scheme — and reports the stretch histograms.  Expectation:
+the ≤3 bound holds everywhere; gravity traffic sees *more* optimal pairs,
+because hubs are exactly where landmarks and big clusters sit.
+"""
+
+import random
+
+from conftest import record
+from repro.algebra import ShortestPath, valley_free_algebra
+from repro.core import (
+    build_scheme,
+    evaluate_scheme,
+    gravity_pairs,
+    stretch_histogram,
+    stub_pairs,
+    text_histogram,
+    uniform_pairs,
+)
+from repro.graphs import assign_random_weights, barabasi_albert, coned_as_topology
+from repro.routing import CowenScheme
+
+
+def _cowen_workloads():
+    algebra = ShortestPath(max_weight=16)
+    graph = barabasi_albert(72, m=2, rng=random.Random(1))
+    assign_random_weights(graph, algebra, rng=random.Random(2))
+    scheme = CowenScheme(graph, algebra, rng=random.Random(3))
+    out = {}
+    for name, pairs in (
+        ("uniform", uniform_pairs(graph, 400, rng=random.Random(4))),
+        ("gravity", gravity_pairs(graph, 400, rng=random.Random(5))),
+    ):
+        report = evaluate_scheme(graph, algebra, scheme, pairs=pairs)
+        samples = []
+        for s, t in pairs:
+            result = scheme.route(s, t)
+            samples.append((
+                scheme.preferred_weight(s, t),
+                algebra.path_weight(graph, list(result.path)),
+            ))
+        out[name] = (report, stretch_histogram(algebra, samples))
+    return out
+
+
+def test_cowen_workload_stretch(benchmark):
+    outcomes = benchmark.pedantic(_cowen_workloads, rounds=1, iterations=1)
+    lines = []
+    for name, (report, histogram) in outcomes.items():
+        lines.append(f"workload {name}: {report.summary()}")
+        lines.extend("  " + line for line in text_histogram(histogram))
+    record("workload_cowen_stretch", lines)
+    for name, (report, histogram) in outcomes.items():
+        assert report.all_delivered
+        assert report.stretch.stretch3_holds
+    uniform_opt = outcomes["uniform"][0].optimal / outcomes["uniform"][0].pairs
+    gravity_opt = outcomes["gravity"][0].optimal / outcomes["gravity"][0].pairs
+    # hub-weighted traffic is at least as often optimal as uniform traffic
+    assert gravity_opt >= uniform_opt - 0.05
+
+
+def test_bgp_stub_workload(benchmark):
+    def run():
+        algebra = valley_free_algebra()
+        graph = coned_as_topology(3, 4, 8, rng=random.Random(6))
+        scheme = build_scheme(graph, algebra)
+        pairs = stub_pairs(graph, 200, rng=random.Random(7))
+        return evaluate_scheme(graph, algebra, scheme, pairs=pairs)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("workload_bgp_stubs", [report.summary()])
+    assert report.all_delivered and report.all_optimal

@@ -1,0 +1,11 @@
+"""Repo-level pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run against
+the in-tree package even when the editable install is absent (the offline
+environment lacks the ``wheel`` package needed by PEP 660 installs).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The incompressibility machinery, hands on (Fig. 2, Theorems 4 and 5).
+
+Walks the Fraigniaud-Gavoille-style counting argument the paper's lower
+bounds rest on:
+
+1. build the Fig. 2 graph family for small (p, delta, |T|);
+2. verify the *forcing* premise: with condition (1) weights (here the
+   Section 4.2 shortest-widest witness), every path other than the
+   preferred two-hop one already violates the stretch bound — so even a
+   stretch-k scheme must encode the exact preferred paths;
+3. enumerate the whole family and count the distinct local forwarding
+   functions a center node must be able to realize: delta^|T| of them,
+   i.e. |T| * log2(delta) bits — Omega(n log delta).
+
+Run:  python examples/lowerbound_demo.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.algebra import MinHop, shortest_widest_path
+from repro.graphs import fig2_instance
+from repro.lowerbounds import (
+    count_distinct_center_maps,
+    satisfies_condition1,
+    shortest_widest_condition1_weights,
+    verify_preferred_paths_forced,
+)
+
+
+def main():
+    p, delta, targets, k = 2, 2, 4, 2
+    print(f"Fig. 2 parameters: p={p} centers, delta={delta} fan-out, "
+          f"|T|={targets} targets, stretch budget k={k}\n")
+
+    print("step 1 — the condition (1) witness (Section 4.2, SW policy):")
+    sw = shortest_widest_path()
+    weights = shortest_widest_condition1_weights(p, k)
+    check = satisfies_condition1(sw, weights, k)
+    print(f"  weights w_i = (i, (2k)^(i-1)) = {weights}")
+    print(f"  w_i ⊕ w_j ≻ w_i^{2 * k} for all i != j: {check.holds}\n")
+
+    print("step 2 — forcing: non-preferred paths violate the stretch bound:")
+    instance = fig2_instance(p, delta, weights)
+    forced = verify_preferred_paths_forced(instance, sw, k)
+    print(f"  instance: {instance.n} nodes, checked "
+          f"{forced.checked_pairs} (center, target) pairs")
+    print(f"  all alternatives beyond stretch {k}: {forced.all_forced}")
+    contrast = verify_preferred_paths_forced(fig2_instance(p, delta, [1] * p),
+                                             MinHop(), 3)
+    print(f"  (contrast, plain min-hop weights: forced only "
+          f"{contrast.forced_pairs}/{contrast.checked_pairs} — stretch "
+          f"genuinely helps there, per Theorem 3)\n")
+
+    print("step 3 — counting distinct forced forwarding functions:")
+    result = count_distinct_center_maps(p, delta, weights, targets)
+    print(f"  {result.summary()}")
+    print(f"  family size: {result.family_size} graphs; per-center distinct "
+          f"functions: {result.distinct_maps_per_center}")
+    print(f"  measured lower bound: {result.measured_bits:.1f} bits = "
+          f"|T| log2(delta) = {result.predicted_bits:.1f} bits")
+    print("\n=> with |T| = Theta(n) targets this is Omega(n log delta) bits "
+          "at some node, for ANY stretch-k scheme (Theorem 4).")
+
+
+if __name__ == "__main__":
+    main()

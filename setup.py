@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517/660 editable installs (which build an editable wheel) fail.  With
+this shim and no ``[build-system]`` table in pyproject.toml, ``pip install
+-e .`` falls back to the classic ``setup.py develop`` path, which needs no
+wheel support.  All metadata still lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""Routing algebras: the policy formalism of Sections 2 and 5.
+
+This subpackage provides the abstract algebra model (:mod:`.base`), the
+property checkers (:mod:`.properties`), the concrete Table 1 algebras
+(:mod:`.catalog`), composition operators (:mod:`.lexicographic`,
+:mod:`.subalgebra`), the Lemma 2 power machinery (:mod:`.power`) and the
+BGP algebras B1-B4 (:mod:`.bgp`).
+"""
+
+from repro.algebra.base import PHI, RoutingAlgebra, Weight, is_phi
+from repro.algebra.bgp import (
+    CUSTOMER,
+    PEER,
+    PROVIDER,
+    REVERSE_LABEL,
+    BGPAlgebra,
+    bgp_full_algebra,
+    prefer_customer_algebra,
+    provider_customer_algebra,
+    valley_free_algebra,
+)
+from repro.algebra.catalog import (
+    MinHop,
+    MostReliablePath,
+    ShortestPath,
+    UsablePath,
+    WidestPath,
+)
+from repro.algebra.lexicographic import (
+    LexicographicProduct,
+    chain_weight,
+    flatten_weight,
+    lexicographic_chain,
+    proposition1_profile,
+    shortest_widest_path,
+    widest_shortest_path,
+)
+from repro.algebra.power import (
+    CyclicSubsemigroup,
+    cyclic_subsemigroup,
+    embeds_shortest_path,
+    relabel_shortest_path_instance,
+)
+from repro.algebra.properties import (
+    CheckResult,
+    PropertyProfile,
+    check_axioms,
+    empirical_profile,
+    verified_profile,
+)
+from repro.algebra.subalgebra import PredicateSubalgebra, Subalgebra
+
+__all__ = [
+    "PHI",
+    "RoutingAlgebra",
+    "Weight",
+    "is_phi",
+    "CUSTOMER",
+    "PEER",
+    "PROVIDER",
+    "REVERSE_LABEL",
+    "BGPAlgebra",
+    "bgp_full_algebra",
+    "prefer_customer_algebra",
+    "provider_customer_algebra",
+    "valley_free_algebra",
+    "MinHop",
+    "MostReliablePath",
+    "ShortestPath",
+    "UsablePath",
+    "WidestPath",
+    "LexicographicProduct",
+    "chain_weight",
+    "flatten_weight",
+    "lexicographic_chain",
+    "proposition1_profile",
+    "shortest_widest_path",
+    "widest_shortest_path",
+    "CyclicSubsemigroup",
+    "cyclic_subsemigroup",
+    "embeds_shortest_path",
+    "relabel_shortest_path_instance",
+    "CheckResult",
+    "PropertyProfile",
+    "check_axioms",
+    "empirical_profile",
+    "verified_profile",
+    "PredicateSubalgebra",
+    "Subalgebra",
+]

@@ -1,0 +1,238 @@
+"""Routing algebras: the paper's core formalism (Section 2.1).
+
+A routing algebra ``A = (W, phi, ⊕, ⪯)`` is a totally ordered commutative
+semigroup over an abstract weight set ``W`` with a compatible infinity
+element ``phi`` (written ``PHI`` here).  Edge weights compose along a path
+with ``⊕`` and paths are compared with the total order ``⪯``; the preferred
+path between two nodes is one of minimum weight under ``⪯``.
+
+Section 5 of the paper weakens the model to *right-associative* semigroups
+for BGP-style policies; :class:`RoutingAlgebra` carries an
+``is_right_associative`` flag and :meth:`path_weight` folds accordingly.
+
+Weights are plain hashable Python values (ints, Fractions, strings,
+tuples); each concrete algebra documents its weight domain.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.exceptions import AlgebraError
+
+Weight = Any
+
+
+class _Infinity:
+    """The unique infinity element ``phi``.
+
+    ``phi`` is not a member of any weight set ``W``; it is absorptive
+    (``w ⊕ phi = phi``) and maximal (``w ≺ phi`` for every ``w ∈ W``).
+    A single shared sentinel is used by every algebra, which makes weights
+    of lexicographic products and subalgebras directly comparable.
+    """
+
+    _instance: Optional["_Infinity"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "PHI"
+
+    def __reduce__(self):
+        return (_Infinity, ())
+
+
+#: The infinity weight ``phi`` shared by all algebras.
+PHI = _Infinity()
+
+
+def is_phi(weight: Weight) -> bool:
+    """Return True iff *weight* is the infinity element ``phi``."""
+    return weight is PHI or isinstance(weight, _Infinity)
+
+
+class RoutingAlgebra(abc.ABC):
+    """Abstract routing algebra ``(W, phi, ⊕, ⪯)``.
+
+    Subclasses implement the three finite-weight primitives
+    (:meth:`combine_finite`, :meth:`leq_finite`, :meth:`contains`) plus
+    :meth:`sample_weights`; the public methods :meth:`combine`, :meth:`leq`
+    and friends add the ``phi`` handling mandated by absorptivity and
+    maximality, so subclasses never see ``PHI``.
+
+    Note that :meth:`combine_finite` *may return* ``PHI``: non-delimited
+    algebras (Section 5) combine finite weights into untraversable paths,
+    e.g. ``c ⊕ p = phi`` in the provider-customer algebra B1.
+    """
+
+    #: Human-readable name, e.g. ``"shortest-path"``.
+    name: str = "routing-algebra"
+
+    #: BGP-style algebras (Section 5) compose from the destination towards
+    #: the source; Section 2 algebras are fully associative and commutative.
+    is_right_associative: bool = False
+
+    # ------------------------------------------------------------------
+    # primitives to be supplied by concrete algebras
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def combine_finite(self, w1: Weight, w2: Weight) -> Weight:
+        """Return ``w1 ⊕ w2`` for finite ``w1, w2 ∈ W`` (may return ``PHI``)."""
+
+    @abc.abstractmethod
+    def leq_finite(self, w1: Weight, w2: Weight) -> bool:
+        """Return True iff ``w1 ⪯ w2`` for finite ``w1, w2 ∈ W``."""
+
+    @abc.abstractmethod
+    def contains(self, weight: Weight) -> bool:
+        """Return True iff finite *weight* is a member of ``W``."""
+
+    @abc.abstractmethod
+    def sample_weights(self, rng, count: int) -> list[Weight]:
+        """Return *count* weights drawn from ``W`` using *rng* (random.Random).
+
+        Used for random edge weighting and for empirical property checking.
+        """
+
+    def declared_properties(self):
+        """The algebra's known :class:`~repro.algebra.properties.PropertyProfile`.
+
+        Concrete algebras override this with the flags proved in the paper
+        (Table 1); the default declares nothing, letting callers fall back
+        to empirical checking.
+        """
+        from repro.algebra.properties import PropertyProfile
+
+        return PropertyProfile()
+
+    def canonical_weights(self) -> Optional[Sequence[Weight]]:
+        """The full weight set if ``W`` is small and finite, else None.
+
+        Finite algebras (usable-path, BGP) return their whole domain so the
+        property checkers can verify axioms exhaustively instead of by
+        sampling.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # public operations (PHI-aware)
+    # ------------------------------------------------------------------
+
+    def combine(self, w1: Weight, w2: Weight) -> Weight:
+        """Return ``w1 ⊕ w2`` with absorptive ``phi``."""
+        if is_phi(w1) or is_phi(w2):
+            return PHI
+        return self.combine_finite(w1, w2)
+
+    def leq(self, w1: Weight, w2: Weight) -> bool:
+        """Return True iff ``w1 ⪯ w2`` (``phi`` is the unique maximum)."""
+        if is_phi(w1):
+            return is_phi(w2)
+        if is_phi(w2):
+            return True
+        return self.leq_finite(w1, w2)
+
+    def lt(self, w1: Weight, w2: Weight) -> bool:
+        """Return True iff ``w1 ≺ w2`` (strictly preferred)."""
+        return self.leq(w1, w2) and not self.leq(w2, w1)
+
+    def eq(self, w1: Weight, w2: Weight) -> bool:
+        """Return True iff ``w1`` and ``w2`` are equal under the order.
+
+        By anti-symmetry of the total order this coincides with equality of
+        weights inside ``W``; it also treats ``PHI == PHI``.
+        """
+        return self.leq(w1, w2) and self.leq(w2, w1)
+
+    def min_weight(self, weights: Iterable[Weight]) -> Weight:
+        """Return the ⪯-least element of *weights* (``PHI`` if empty)."""
+        best = PHI
+        for w in weights:
+            if self.lt(w, best):
+                best = w
+        return best
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    def combine_sequence(self, weights: Sequence[Weight]) -> Weight:
+        """Fold a sequence of edge weights into a path weight.
+
+        Fully associative algebras fold left-to-right; right-associative
+        algebras (BGP, Section 5) fold from the destination toward the
+        source: ``w1 ⊕ (w2 ⊕ (... ⊕ wk))``.  An empty sequence denotes the
+        trivial (single-node) path and has no weight; callers must treat it
+        specially, since semigroups carry no identity element.
+        """
+        if not weights:
+            raise AlgebraError("cannot combine an empty weight sequence: semigroups have no identity")
+        if self.is_right_associative:
+            acc = weights[-1]
+            for w in reversed(weights[:-1]):
+                acc = self.combine(w, acc)
+            return acc
+        acc = weights[0]
+        for w in weights[1:]:
+            acc = self.combine(acc, w)
+        return acc
+
+    def path_weight(self, graph, path: Sequence, attr: str = "weight") -> Weight:
+        """Weight of *path* (a node sequence) in *graph*.
+
+        Works on undirected graphs and digraphs; edge weights are read from
+        edge attribute *attr*.  A single-node path raises
+        :class:`AlgebraError` (no identity element); a missing edge yields
+        ``PHI``.
+        """
+        if len(path) < 2:
+            raise AlgebraError("path weight undefined for paths with fewer than 2 nodes")
+        weights = []
+        for u, v in zip(path, path[1:]):
+            if not graph.has_edge(u, v):
+                return PHI
+            weights.append(graph[u][v][attr])
+        return self.combine_sequence(weights)
+
+    def power(self, weight: Weight, k: int) -> Weight:
+        """Return ``weight^k = weight ⊕ ... ⊕ weight`` (k times, Definition 3)."""
+        if k < 1:
+            raise AlgebraError(f"power requires k >= 1, got {k}")
+        if is_phi(weight):
+            return PHI
+        acc = weight
+        for _ in range(k - 1):
+            acc = self.combine(acc, weight)
+        return acc
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    def comparison_key(self):
+        """A ``key=`` callable sorting values non-decreasingly by ⪯.
+
+        Weight sets carry no native Python ordering, so sorting goes through
+        the algebra's comparison via :func:`functools.cmp_to_key`.
+        """
+        import functools
+
+        def cmp(w1, w2):
+            if self.eq(w1, w2):
+                return 0
+            return -1 if self.leq(w1, w2) else 1
+
+        return functools.cmp_to_key(cmp)
+
+    def sorted_weights(self, weights: Iterable[Weight]) -> list[Weight]:
+        """Return *weights* sorted non-decreasingly by ⪯ (stable)."""
+        return sorted(weights, key=self.comparison_key())
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,192 @@
+"""BGP-style inter-domain routing algebras B1-B4 (Section 5).
+
+Inter-domain policies break the Section 2 mold in two ways: the network is
+a symmetric digraph with asymmetric arc weights, and composition is only
+*right-associative* — BGP is a path-vector protocol, so link properties
+compose from the destination toward the source.
+
+Arc labels and their reverse-arc constraints:
+
+* ``c`` — the arc points from a provider *down* to its customer
+  (``w(i,j) = c  <=>  w(j,i) = p``);
+* ``p`` — the arc points from a customer *up* to its provider;
+* ``r`` — a settlement-free peering arc (``r`` in both directions).
+
+The composition tables (Tables 2 and 3 of the paper) encode Gao-Rexford
+valley-freedom: ``x ⊕ y`` is the type of a path whose first arc has label
+``x`` and whose remaining suffix has type ``y``; forbidden successions
+yield ``phi``.  Under Table 3 the traversable label sequences are exactly
+``p* (r|ε) c*`` — climb through providers, optionally cross one peering
+link, then descend through customers.
+
+The four levels of policy detail:
+
+* **B1** (Table 2): provider-customer only, all traversable paths equal.
+* **B2** (Table 3): adds peering, all traversable paths equal.
+* **B3**: Table 3 with local preference ``c ≺ r ⪯ p`` (customer routes
+  preferred; we instantiate the antisymmetric variant ``c ≺ r ≺ p``).
+* **B4** ``= B3 x S``: B3 refined by path length.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.base import PHI, RoutingAlgebra
+from repro.algebra.catalog import ShortestPath
+from repro.algebra.lexicographic import LexicographicProduct
+from repro.algebra.properties import PropertyProfile
+from repro.exceptions import AlgebraError
+
+#: Arc label constants.
+CUSTOMER = "c"
+PEER = "r"
+PROVIDER = "p"
+
+#: Reverse-direction label of each arc label.
+REVERSE_LABEL = {CUSTOMER: PROVIDER, PROVIDER: CUSTOMER, PEER: PEER}
+
+#: Table 2 — weight composition in the provider-customer algebra B1.
+_TABLE_B1 = {
+    (CUSTOMER, CUSTOMER): CUSTOMER,
+    (CUSTOMER, PROVIDER): PHI,
+    (PROVIDER, CUSTOMER): PROVIDER,
+    (PROVIDER, PROVIDER): PROVIDER,
+}
+
+#: Table 3 — weight composition in valley-free routing (B2 and B3).
+_TABLE_VALLEY_FREE = {
+    (CUSTOMER, CUSTOMER): CUSTOMER,
+    (CUSTOMER, PEER): PHI,
+    (CUSTOMER, PROVIDER): PHI,
+    (PEER, CUSTOMER): PEER,
+    (PEER, PEER): PHI,
+    (PEER, PROVIDER): PHI,
+    (PROVIDER, CUSTOMER): PROVIDER,
+    (PROVIDER, PEER): PROVIDER,
+    (PROVIDER, PROVIDER): PROVIDER,
+}
+
+
+class BGPAlgebra(RoutingAlgebra):
+    """A finite, table-driven, right-associative routing algebra.
+
+    *table* maps ordered label pairs to a label or ``PHI``; *ranks* maps
+    each label to its preference rank (lower is preferred; equal ranks mean
+    equal preference).
+    """
+
+    is_right_associative = True
+
+    def __init__(self, name, labels, table, ranks):
+        self.name = name
+        self.labels = tuple(labels)
+        self.table = dict(table)
+        self.ranks = dict(ranks)
+        for w1 in self.labels:
+            for w2 in self.labels:
+                if (w1, w2) not in self.table:
+                    raise AlgebraError(f"composition table misses ({w1!r}, {w2!r})")
+        for label in self.labels:
+            if label not in self.ranks:
+                raise AlgebraError(f"preference rank missing for {label!r}")
+
+    def combine_finite(self, w1, w2):
+        # Labels outside the algebra's domain (e.g. peer arcs seen by B1)
+        # denote arcs the policy cannot use: the composition is phi.
+        if w1 not in self.labels or w2 not in self.labels:
+            return PHI
+        return self.table[(w1, w2)]
+
+    def leq_finite(self, w1, w2):
+        return self.ranks[w1] <= self.ranks[w2]
+
+    def contains(self, weight):
+        return weight in self.labels
+
+    def combine_sequence(self, weights):
+        # An arc labelled outside the algebra's domain is untraversable for
+        # this policy; this also covers single-arc paths, which the generic
+        # fold returns without ever calling combine.
+        from repro.algebra.base import PHI as _PHI, is_phi as _is_phi
+
+        if any(not _is_phi(w) and w not in self.labels for w in weights):
+            return _PHI
+        return super().combine_sequence(weights)
+
+    def sample_weights(self, rng, count):
+        return [rng.choice(self.labels) for _ in range(count)]
+
+    def canonical_weights(self):
+        return self.labels
+
+    def declared_properties(self):
+        # Shared across B1-B3 and verified exhaustively by the property
+        # machinery (the weight sets are finite): monotone, but neither
+        # isotone, strictly monotone, selective, condensed nor delimited.
+        # Cancellativity differs per preference ranking, so it stays
+        # undeclared.
+        return PropertyProfile(
+            monotone=True,
+            isotone=False,
+            strictly_monotone=False,
+            selective=False,
+            condensed=False,
+            delimited=False,
+        )
+
+
+def provider_customer_algebra() -> BGPAlgebra:
+    """B1: the provider-customer algebra of Table 2.
+
+    Monotone, but neither regular nor delimited (``c ⊕ p = phi``).
+    Incompressible in general, with no finite-stretch compact scheme
+    (Theorem 5); compressible under assumptions A1 + A2 (Theorem 6).
+    """
+    return BGPAlgebra(
+        "bgp-provider-customer (B1)",
+        (CUSTOMER, PROVIDER),
+        _TABLE_B1,
+        {CUSTOMER: 0, PROVIDER: 0},
+    )
+
+
+def valley_free_algebra() -> BGPAlgebra:
+    """B2: valley-free routing with peering, Table 3; all paths equal.
+
+    Compressible under A1 + A2 via the SVFC decomposition (Theorem 7).
+    """
+    return BGPAlgebra(
+        "bgp-valley-free (B2)",
+        (CUSTOMER, PEER, PROVIDER),
+        _TABLE_VALLEY_FREE,
+        {CUSTOMER: 0, PEER: 0, PROVIDER: 0},
+    )
+
+
+def prefer_customer_algebra() -> BGPAlgebra:
+    """B3: valley-free routing with local preference ``c ≺ r ⪯ p``.
+
+    The paper allows ``r ⪯ p``; this instantiation uses the standard
+    Gao-Rexford strict ordering ``c ≺ r ≺ p``.  Incompressible even under
+    A1 + A2, with no finite-stretch scheme (Theorem 8).
+    """
+    return BGPAlgebra(
+        "bgp-prefer-customer (B3)",
+        (CUSTOMER, PEER, PROVIDER),
+        _TABLE_VALLEY_FREE,
+        {CUSTOMER: 0, PEER: 1, PROVIDER: 2},
+    )
+
+
+def bgp_full_algebra(max_weight: int = 16) -> LexicographicProduct:
+    """B4 = B3 x S: prefer-customer policy refined by path length.
+
+    Incompressible even under A1 + A2 (Theorem 9).  Arc weights are pairs
+    ``(label, cost)``; the ``S`` component sums hop costs, so with unit
+    costs the tie-break is plain AS-path length, exactly BGP's behaviour.
+    """
+    product = LexicographicProduct(
+        prefer_customer_algebra(),
+        ShortestPath(max_weight),
+        name="bgp-prefer-customer-shortest (B4)",
+    )
+    return product

@@ -1,0 +1,376 @@
+"""Algebraic properties of routing algebras (Section 2.1 and Definition 1).
+
+The paper classifies routing policies by a handful of algebraic properties:
+
+* **Monotonicity (M)**: ``w1 ⪯ w2 ⊕ w1`` — prepending can only worsen.
+* **Isotonicity (I)**: ``w1 ⪯ w2 ⇒ w3 ⊕ w1 ⪯ w3 ⊕ w2`` — the order is
+  compatible with composition.
+* **Regular** = monotone + isotone (Definition 1).
+* **Delimited (D)**: ``w1 ⊕ w2 ≠ phi`` — finite weights never combine to
+  infinity.
+* **Strictly monotone (SM)**: ``w1 ≺ w2 ⊕ w1``.
+* **Selective (S)**: ``w1 ⊕ w2 ∈ {w1, w2}``.
+* **Cancellative (N)**: ``w1 ⊕ w2 = w1 ⊕ w3 ⇒ w2 = w3``.
+* **Condensed (C)**: ``w1 ⊕ w2 = w1 ⊕ w3`` for all weights.
+
+Two complementary mechanisms are provided:
+
+1. every concrete algebra *declares* its known properties (a
+   :class:`PropertyProfile`), mirroring Table 1 of the paper; and
+2. :func:`empirical_profile` / the ``check_*`` functions *verify* properties
+   on samples (exhaustively when the weight set is small and finite),
+   returning explicit counterexamples on failure — the executable analogue
+   of the paper's counterexample-driven arguments (Fig. 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Sequence
+
+from repro.algebra.base import PHI, RoutingAlgebra, Weight, is_phi
+
+# Triples are enough to exercise every axiom/property below.
+_TUPLE_ARITY = 3
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a single property check.
+
+    ``holds`` is True when no counterexample was found on the examined
+    sample; ``witness`` carries the offending weights otherwise.  For
+    algebras with a finite canonical weight set the check is exhaustive and
+    hence a proof; for sampled infinite weight sets it is evidence only.
+    """
+
+    property_name: str
+    holds: bool
+    witness: Optional[tuple] = None
+    exhaustive: bool = False
+
+    def __bool__(self):
+        return self.holds
+
+
+@dataclass(frozen=True)
+class PropertyProfile:
+    """The algebraic property flags of a routing algebra.
+
+    ``None`` means unknown/undeclared.  ``regular`` is derived
+    (Definition 1: monotone and isotone).
+    """
+
+    monotone: Optional[bool] = None
+    isotone: Optional[bool] = None
+    strictly_monotone: Optional[bool] = None
+    selective: Optional[bool] = None
+    cancellative: Optional[bool] = None
+    condensed: Optional[bool] = None
+    delimited: Optional[bool] = None
+
+    @property
+    def regular(self) -> Optional[bool]:
+        """Definition 1: regular = monotone + isotone."""
+        if self.monotone is None or self.isotone is None:
+            if self.monotone is False or self.isotone is False:
+                return False
+            return None
+        return self.monotone and self.isotone
+
+    def merged_with(self, other: "PropertyProfile") -> "PropertyProfile":
+        """Fill in this profile's unknown flags from *other*."""
+        updates = {}
+        for name in (
+            "monotone",
+            "isotone",
+            "strictly_monotone",
+            "selective",
+            "cancellative",
+            "condensed",
+            "delimited",
+        ):
+            if getattr(self, name) is None and getattr(other, name) is not None:
+                updates[name] = getattr(other, name)
+        return replace(self, **updates) if updates else self
+
+    def summary(self) -> str:
+        """Compact property string in the style of Table 1 (e.g. ``"SM, I, D"``)."""
+        parts = []
+        if self.strictly_monotone:
+            parts.append("SM")
+        elif self.monotone:
+            parts.append("M")
+        elif self.monotone is False:
+            parts.append("¬M")
+        if self.isotone:
+            parts.append("I")
+        elif self.isotone is False:
+            parts.append("¬I")
+        if self.selective:
+            parts.append("S")
+        if self.cancellative:
+            parts.append("N")
+        if self.condensed:
+            parts.append("C")
+        if self.delimited:
+            parts.append("D")
+        elif self.delimited is False:
+            parts.append("¬D")
+        return ", ".join(parts) if parts else "(unknown)"
+
+
+def _weight_pool(algebra: RoutingAlgebra, rng, samples: int) -> tuple[list[Weight], bool]:
+    """Weights to check against, plus whether the pool is the whole of W."""
+    canonical = algebra.canonical_weights()
+    if canonical is not None:
+        return list(canonical), True
+    if rng is None:
+        raise ValueError("an rng is required for algebras without canonical_weights()")
+    pool = algebra.sample_weights(rng, samples)
+    # Weights produced by composition are also members of W (closure) and
+    # often expose violations that raw samples miss; fold a few in.
+    composed = [
+        algebra.combine(a, b)
+        for a, b in zip(pool, pool[1:])
+        if not is_phi(algebra.combine(a, b))
+    ]
+    seen = set()
+    merged = []
+    for w in pool + composed[: max(4, samples // 4)]:
+        if w not in seen:
+            seen.add(w)
+            merged.append(w)
+    return merged, False
+
+
+def _iter_tuples(pool: Sequence[Weight], arity: int, exhaustive: bool, rng, limit: int):
+    """Yield weight tuples to test: exhaustive product or random draws."""
+    if exhaustive:
+        yield from itertools.product(pool, repeat=arity)
+    else:
+        for _ in range(limit):
+            yield tuple(rng.choice(pool) for _ in range(arity))
+
+
+def _run_check(name, algebra, predicate, arity, rng, samples, limit) -> CheckResult:
+    pool, exhaustive = _weight_pool(algebra, rng, samples)
+    for combo in _iter_tuples(pool, arity, exhaustive, rng, limit):
+        if not predicate(algebra, *combo):
+            return CheckResult(name, False, witness=combo, exhaustive=exhaustive)
+    return CheckResult(name, True, exhaustive=exhaustive)
+
+
+# ----------------------------------------------------------------------
+# semigroup / order axioms (Section 2.1)
+# ----------------------------------------------------------------------
+
+
+def check_closure(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """``w1 ⊕ w2 ∈ W`` — or PHI for non-delimited algebras."""
+
+    def pred(a, w1, w2):
+        combined = a.combine(w1, w2)
+        return is_phi(combined) or a.contains(combined)
+
+    return _run_check("closure", algebra, pred, 2, rng, samples, limit)
+
+
+def check_associativity(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """``(w1 ⊕ w2) ⊕ w3 = w1 ⊕ (w2 ⊕ w3)``.
+
+    Right-associative algebras (Section 5) are exempt by construction; the
+    check still runs and reports honestly whether full associativity holds.
+    """
+
+    def pred(a, w1, w2, w3):
+        left = a.combine(a.combine(w1, w2), w3)
+        right = a.combine(w1, a.combine(w2, w3))
+        return a.eq(left, right)
+
+    return _run_check("associativity", algebra, pred, 3, rng, samples, limit)
+
+
+def check_commutativity(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """``w1 ⊕ w2 = w2 ⊕ w1``."""
+
+    def pred(a, w1, w2):
+        return a.eq(a.combine(w1, w2), a.combine(w2, w1))
+
+    return _run_check("commutativity", algebra, pred, 2, rng, samples, limit)
+
+
+def check_total_order(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """Reflexivity, anti-symmetry, transitivity and totality of ⪯."""
+
+    def pred(a, w1, w2, w3):
+        if not a.leq(w1, w1):
+            return False  # reflexivity
+        if not (a.leq(w1, w2) or a.leq(w2, w1)):
+            return False  # totality
+        if a.leq(w1, w2) and a.leq(w2, w1) and not a.eq(w1, w2):
+            return False  # anti-symmetry
+        if a.leq(w1, w2) and a.leq(w2, w3) and not a.leq(w1, w3):
+            return False  # transitivity
+        return True
+
+    return _run_check("total-order", algebra, pred, 3, rng, samples, limit)
+
+
+def check_phi_compatibility(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """Absorptivity (``w ⊕ phi = phi``) and maximality (``w ≺ phi``)."""
+
+    def pred(a, w):
+        return (
+            is_phi(a.combine(w, PHI))
+            and is_phi(a.combine(PHI, w))
+            and a.lt(w, PHI)
+        )
+
+    return _run_check("phi-compatibility", algebra, pred, 1, rng, samples, limit)
+
+
+# ----------------------------------------------------------------------
+# classification properties (Definition 1 and the D/SM/S/N/C list)
+# ----------------------------------------------------------------------
+
+
+def check_monotone(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """(M) ``w1 ⪯ w2 ⊕ w1``."""
+
+    def pred(a, w1, w2):
+        return a.leq(w1, a.combine(w2, w1))
+
+    return _run_check("monotone", algebra, pred, 2, rng, samples, limit)
+
+
+def check_isotone(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """(I) ``w1 ⪯ w2 ⇒ w3 ⊕ w1 ⪯ w3 ⊕ w2`` (and, for right-associative
+    algebras, the suffix variant ``w1 ⊕ w3 ⪯ w2 ⊕ w3`` as well)."""
+
+    def pred(a, w1, w2, w3):
+        if not a.leq(w1, w2):
+            return True
+        if not a.leq(a.combine(w3, w1), a.combine(w3, w2)):
+            return False
+        if a.is_right_associative and not a.leq(a.combine(w1, w3), a.combine(w2, w3)):
+            return False
+        return True
+
+    return _run_check("isotone", algebra, pred, 3, rng, samples, limit)
+
+
+def check_strictly_monotone(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """(SM) ``w1 ≺ w2 ⊕ w1``."""
+
+    def pred(a, w1, w2):
+        return a.lt(w1, a.combine(w2, w1))
+
+    return _run_check("strictly-monotone", algebra, pred, 2, rng, samples, limit)
+
+
+def check_selective(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """(S) ``w1 ⊕ w2 ∈ {w1, w2}``."""
+
+    def pred(a, w1, w2):
+        combined = a.combine(w1, w2)
+        return (not is_phi(combined)) and (a.eq(combined, w1) or a.eq(combined, w2))
+
+    return _run_check("selective", algebra, pred, 2, rng, samples, limit)
+
+
+def check_cancellative(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """(N) ``w1 ⊕ w2 = w1 ⊕ w3 ⇒ w2 = w3``."""
+
+    def pred(a, w1, w2, w3):
+        if a.eq(a.combine(w1, w2), a.combine(w1, w3)):
+            return a.eq(w2, w3)
+        return True
+
+    return _run_check("cancellative", algebra, pred, 3, rng, samples, limit)
+
+
+def check_condensed(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """(C) ``w1 ⊕ w2 = w1 ⊕ w3`` for all weights."""
+
+    def pred(a, w1, w2, w3):
+        return a.eq(a.combine(w1, w2), a.combine(w1, w3))
+
+    return _run_check("condensed", algebra, pred, 3, rng, samples, limit)
+
+
+def check_delimited(algebra, rng=None, samples=24, limit=400) -> CheckResult:
+    """(D) ``w1 ⊕ w2 ≠ phi``."""
+
+    def pred(a, w1, w2):
+        return not is_phi(a.combine(w1, w2))
+
+    return _run_check("delimited", algebra, pred, 2, rng, samples, limit)
+
+
+_AXIOM_CHECKS = (
+    check_closure,
+    check_associativity,
+    check_commutativity,
+    check_total_order,
+    check_phi_compatibility,
+)
+
+_PROPERTY_CHECKS = {
+    "monotone": check_monotone,
+    "isotone": check_isotone,
+    "strictly_monotone": check_strictly_monotone,
+    "selective": check_selective,
+    "cancellative": check_cancellative,
+    "condensed": check_condensed,
+    "delimited": check_delimited,
+}
+
+
+def check_axioms(algebra, rng=None, samples=24, limit=400) -> list[CheckResult]:
+    """Run every semigroup/order axiom check; returns the results.
+
+    Right-associative algebras skip the commutativity/associativity checks,
+    since the Section 5 model drops those requirements by design.
+    """
+    results = []
+    for check in _AXIOM_CHECKS:
+        if algebra.is_right_associative and check in (check_associativity, check_commutativity):
+            continue
+        results.append(check(algebra, rng=rng, samples=samples, limit=limit))
+    return results
+
+
+def empirical_profile(algebra, rng=None, samples=24, limit=400) -> PropertyProfile:
+    """Measure a :class:`PropertyProfile` by (exhaustive or sampled) checking."""
+    flags = {
+        name: check(algebra, rng=rng, samples=samples, limit=limit).holds
+        for name, check in _PROPERTY_CHECKS.items()
+    }
+    return PropertyProfile(**flags)
+
+
+def verified_profile(algebra, rng=None, samples=24, limit=400) -> PropertyProfile:
+    """Declared profile of *algebra* cross-checked against measurement.
+
+    Raises ``AssertionError`` when a declared flag contradicts a measured
+    counterexample — a measured ``False`` disproves a declared ``True``
+    outright, and an exhaustive measured ``True`` disproves a declared
+    ``False``.
+    """
+    declared = algebra.declared_properties()
+    for name, check in _PROPERTY_CHECKS.items():
+        want = getattr(declared, name)
+        if want is None:
+            continue
+        result = check(algebra, rng=rng, samples=samples, limit=limit)
+        if want and not result.holds:
+            raise AssertionError(
+                f"{algebra.name}: declared {name}=True but found counterexample {result.witness!r}"
+            )
+        if (not want) and result.holds and result.exhaustive:
+            raise AssertionError(
+                f"{algebra.name}: declared {name}=False but the property holds exhaustively"
+            )
+    return declared

@@ -1,0 +1,98 @@
+"""Subalgebras: restriction of an algebra to a closed weight subset (Section 2.2).
+
+Given ``A = (W, phi, ⊕, ⪯)`` and ``W' ⊆ W`` closed under ``⊕``, the
+restriction ``(W', phi, ⊕, ⪯)`` is a subalgebra of ``A``.  Subalgebras
+inherit the universally quantified properties of the root algebra
+(monotonicity, isotonicity, selectivity, ...) but *new* properties may
+emerge on the smaller set — the paper's example being strict monotonicity
+of ``(N, inf, +, <=)`` inside the weakly monotone ``(N ∪ {0}, inf, +, <=)``.
+Lemma 2 rests on exactly this mechanism: a delimited strictly monotone
+*subalgebra* suffices for incompressibility of the whole algebra.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.base import RoutingAlgebra, is_phi
+from repro.exceptions import AlgebraError
+
+
+class Subalgebra(RoutingAlgebra):
+    """Restriction of *parent* to the finite weight set *weights*.
+
+    Closure of *weights* under the parent's composition is verified
+    exhaustively at construction time unless ``check_closure=False`` (use
+    that only for infinite ``W'`` described by a membership predicate via
+    :class:`PredicateSubalgebra`).
+    """
+
+    def __init__(self, parent: RoutingAlgebra, weights, name=None, check_closure=True):
+        self.parent = parent
+        self._weights = tuple(dict.fromkeys(weights))  # de-dup, keep order
+        if not self._weights:
+            raise AlgebraError("a subalgebra needs a non-empty weight set")
+        self.name = name or f"{parent.name}|{len(self._weights)} weights"
+        self.is_right_associative = parent.is_right_associative
+        for w in self._weights:
+            if not parent.contains(w):
+                raise AlgebraError(f"weight {w!r} is not in the parent algebra {parent.name}")
+        if check_closure:
+            self._verify_closure()
+
+    def _verify_closure(self):
+        members = set(self._weights)
+        for w1 in self._weights:
+            for w2 in self._weights:
+                combined = self.parent.combine(w1, w2)
+                if is_phi(combined):
+                    # Non-delimited parents may map into phi; phi is not a
+                    # member of W' but the subalgebra is then simply
+                    # non-delimited, which is legal.
+                    continue
+                if combined not in members:
+                    raise AlgebraError(
+                        f"weight set not closed: {w1!r} ⊕ {w2!r} = {combined!r} ∉ W'"
+                    )
+
+    def combine_finite(self, w1, w2):
+        return self.parent.combine_finite(w1, w2)
+
+    def leq_finite(self, w1, w2):
+        return self.parent.leq_finite(w1, w2)
+
+    def contains(self, weight):
+        return weight in self._weights
+
+    def sample_weights(self, rng, count):
+        return [rng.choice(self._weights) for _ in range(count)]
+
+    def canonical_weights(self):
+        return self._weights
+
+
+class PredicateSubalgebra(RoutingAlgebra):
+    """Restriction of *parent* to ``{w : predicate(w)}`` with its own sampler.
+
+    For infinite restrictions, e.g. the interior ``(0, 1)`` of the
+    most-reliable-path algebra.  Closure cannot be verified exhaustively;
+    the ``check_closure`` property checker from
+    :mod:`repro.algebra.properties` provides sampled evidence instead.
+    """
+
+    def __init__(self, parent: RoutingAlgebra, predicate, sampler, name=None):
+        self.parent = parent
+        self.predicate = predicate
+        self.sampler = sampler
+        self.name = name or f"{parent.name}|predicate"
+        self.is_right_associative = parent.is_right_associative
+
+    def combine_finite(self, w1, w2):
+        return self.parent.combine_finite(w1, w2)
+
+    def leq_finite(self, w1, w2):
+        return self.parent.leq_finite(w1, w2)
+
+    def contains(self, weight):
+        return self.parent.contains(weight) and self.predicate(weight)
+
+    def sample_weights(self, rng, count):
+        return [self.sampler(rng) for _ in range(count)]

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``classify <policy>`` — print the algebraic profile and the theorem-
+  driven classification of a catalog policy;
+* ``route <policy>`` — generate a topology, build the prescribed scheme,
+  route all pairs and report delivery/stretch/memory;
+* ``scale <policy>`` — measure per-node table bits over growing n and fit
+  the scaling class (the Table 1 experiment for one policy);
+* ``table1`` — the full six-row Table 1 reproduction;
+* ``policies`` — list the catalog.
+
+Examples::
+
+    python -m repro classify widest-path
+    python -m repro route shortest-path --n 64 --topology barabasi-albert --compact
+    python -m repro scale shortest-widest-path --sizes 16,24,32
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.algebra import (
+    MostReliablePath,
+    prefer_customer_algebra,
+    ShortestPath,
+    UsablePath,
+    WidestPath,
+    empirical_profile,
+    provider_customer_algebra,
+    shortest_widest_path,
+    valley_free_algebra,
+    widest_shortest_path,
+)
+from repro.core import build_scheme, classify, evaluate_scheme, fit_scaling
+from repro.exceptions import ReproError
+from repro.graphs import (
+    FAMILIES,
+    assign_random_weights,
+    coned_as_topology,
+    provider_tree_topology,
+)
+from repro.routing import memory_report
+
+#: name -> (factory, is_bgp)
+POLICIES = {
+    "shortest-path": (ShortestPath, False),
+    "widest-path": (WidestPath, False),
+    "most-reliable-path": (MostReliablePath, False),
+    "usable-path": (UsablePath, False),
+    "widest-shortest-path": (widest_shortest_path, False),
+    "shortest-widest-path": (shortest_widest_path, False),
+    "bgp-provider-customer": (provider_customer_algebra, True),
+    "bgp-valley-free": (valley_free_algebra, True),
+    "bgp-prefer-customer": (prefer_customer_algebra, True),
+}
+
+
+def _policy(name: str):
+    if name not in POLICIES:
+        raise SystemExit(
+            f"unknown policy {name!r}; run `python -m repro policies` for the list"
+        )
+    factory, is_bgp = POLICIES[name]
+    return factory(), is_bgp
+
+
+def _topology(algebra, is_bgp, family: str, n: int, seed: int):
+    rng = random.Random(seed)
+    if is_bgp:
+        if family == "provider-tree" or algebra.name.endswith("(B1)"):
+            return provider_tree_topology(n, rng=rng, max_providers=2)
+        scale = max(1, n // 12)
+        return coned_as_topology(3, scale, 3 * scale, rng=rng)
+    if family not in FAMILIES:
+        raise SystemExit(f"unknown topology {family!r}; pick one of {sorted(FAMILIES)}")
+    graph = FAMILIES[family](n, rng)
+    assign_random_weights(graph, algebra, rng=rng)
+    return graph
+
+
+def cmd_policies(_args) -> int:
+    for name in sorted(POLICIES):
+        algebra, _ = _policy(name)
+        print(f"{name:28s} [{algebra.declared_properties().summary()}]")
+    return 0
+
+
+def cmd_classify(args) -> int:
+    algebra, _ = _policy(args.policy)
+    if args.measure:
+        profile = empirical_profile(algebra, rng=random.Random(args.seed))
+        print(f"measured properties: [{profile.summary()}]")
+    verdict = classify(algebra)
+    print(verdict.summary())
+    for reason in verdict.reasons:
+        print(f"  - {reason}")
+    return 0
+
+
+def cmd_route(args) -> int:
+    algebra, is_bgp = _policy(args.policy)
+    graph = _topology(algebra, is_bgp, args.topology, args.n, args.seed)
+    mode = "compact" if args.compact else "auto"
+    scheme = build_scheme(graph, algebra, mode=mode, rng=random.Random(args.seed + 1))
+    report = evaluate_scheme(graph, algebra, scheme)
+    print(f"topology: n={graph.number_of_nodes()} m={graph.number_of_edges()}")
+    print(report.summary())
+    if report.failures:
+        print(f"failures (first {len(report.failures)}): {report.failures}")
+        return 1
+    return 0
+
+
+def cmd_scale(args) -> int:
+    algebra, is_bgp = _policy(args.policy)
+    sizes = [int(part) for part in args.sizes.split(",")]
+    if len(sizes) < 3:
+        raise SystemExit("--sizes needs at least 3 comma-separated values")
+    rows = []
+    for n in sizes:
+        graph = _topology(algebra, is_bgp, args.topology, n, args.seed + n)
+        scheme = build_scheme(graph, algebra, rng=random.Random(args.seed + n + 1))
+        bits = memory_report(scheme).max_bits
+        rows.append((graph.number_of_nodes(), bits))
+        print(f"n={graph.number_of_nodes():5d}  max table bits={bits}")
+    ns, bits = zip(*rows)
+    print(fit_scaling(ns, bits).summary())
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.core.table1 import format_table1, reproduce_table1
+
+    sizes = [int(part) for part in args.sizes.split(",")]
+    rows = reproduce_table1(sizes=sizes, seed=args.seed)
+    print(format_table1(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Compact policy routing — paper reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("policies", help="list catalog policies").set_defaults(
+        func=cmd_policies
+    )
+
+    p_classify = sub.add_parser("classify", help="classify a policy")
+    p_classify.add_argument("policy")
+    p_classify.add_argument("--measure", action="store_true",
+                            help="also measure the profile empirically")
+    p_classify.add_argument("--seed", type=int, default=0)
+    p_classify.set_defaults(func=cmd_classify)
+
+    p_route = sub.add_parser("route", help="build a scheme and route all pairs")
+    p_route.add_argument("policy")
+    p_route.add_argument("--n", type=int, default=48)
+    p_route.add_argument("--topology", default="erdos-renyi")
+    p_route.add_argument("--compact", action="store_true",
+                         help="use the Theorem 3 compact scheme where possible")
+    p_route.add_argument("--seed", type=int, default=0)
+    p_route.set_defaults(func=cmd_route)
+
+    p_scale = sub.add_parser("scale", help="fit the memory scaling class")
+    p_scale.add_argument("policy")
+    p_scale.add_argument("--sizes", default="32,64,128")
+    p_scale.add_argument("--topology", default="erdos-renyi")
+    p_scale.add_argument("--seed", type=int, default=0)
+    p_scale.set_defaults(func=cmd_scale)
+
+    p_table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    p_table1.add_argument("--sizes", default="32,64,128")
+    p_table1.add_argument("--seed", type=int, default=0)
+    p_table1.set_defaults(func=cmd_table1)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

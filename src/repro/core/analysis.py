@@ -1,0 +1,85 @@
+"""Analysis utilities: stretch histograms, cluster statistics, text plots.
+
+Small, dependency-free summaries used by the examples and the benchmark
+result blocks — the library's stand-in for the figures a systems paper
+would plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.algebra.base import RoutingAlgebra
+from repro.routing.stretch import minimal_stretch
+
+
+def stretch_histogram(algebra: RoutingAlgebra, samples: Iterable[Tuple],
+                      max_k: int = 16) -> Dict[Optional[int], int]:
+    """Histogram of minimal stretch over (preferred, realized) samples.
+
+    The ``None`` bucket counts pairs beyond *max_k* (for selective
+    algebras: any suboptimal delivery at all).
+    """
+    histogram: Dict[Optional[int], int] = {}
+    for preferred, realized in samples:
+        k = minimal_stretch(algebra, preferred, realized, max_k=max_k)
+        histogram[k] = histogram.get(k, 0) + 1
+    return histogram
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary of an integer distribution."""
+
+    count: int
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    total: int
+
+    def summary(self) -> str:
+        return (
+            f"count={self.count} min={self.minimum} median={self.median:g} "
+            f"mean={self.mean:.1f} max={self.maximum} total={self.total}"
+        )
+
+
+def summarize(values: Iterable[int]) -> DistributionSummary:
+    """Summarize a non-empty collection of integers."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("cannot summarize an empty collection")
+    n = len(data)
+    median = (
+        float(data[n // 2]) if n % 2 else (data[n // 2 - 1] + data[n // 2]) / 2.0
+    )
+    return DistributionSummary(
+        count=n,
+        minimum=data[0],
+        maximum=data[-1],
+        mean=sum(data) / n,
+        median=median,
+        total=sum(data),
+    )
+
+
+def cluster_statistics(scheme) -> DistributionSummary:
+    """Cluster-size distribution of a built Cowen scheme."""
+    return summarize(len(cluster) for cluster in scheme.clusters.values())
+
+
+def text_histogram(counts: Dict, width: int = 40, sort_key=None) -> List[str]:
+    """Render ``{bucket: count}`` as ASCII bars (one line per bucket)."""
+    if not counts:
+        return ["(empty)"]
+    peak = max(counts.values())
+    keys = sorted(counts, key=sort_key or (lambda k: (k is None, k)))
+    lines = []
+    for key in keys:
+        value = counts[key]
+        bar = "#" * max(1, round(width * value / peak)) if value else ""
+        label = ">" if key is None else str(key)
+        lines.append(f"{label:>6s} | {bar} {value}")
+    return lines

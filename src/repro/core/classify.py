@@ -1,0 +1,172 @@
+"""Algebra classification: the paper's theorems as an executable decision tree.
+
+Given an algebra's :class:`~repro.algebra.properties.PropertyProfile`, the
+classifier applies, in order:
+
+* **Theorem 1** — selective + monotone ⟹ compressible, Theta(log n)
+  local memory (tree routing over the Lemma 1 spanning tree);
+* **Theorem 2 / Lemma 2** — delimited + strictly monotone (possibly only
+  on a subalgebra) ⟹ incompressible, Omega(n); with isotonicity the
+  destination table of Observation 1 makes this tight at ~Theta(n), and
+  without it the best trivial upper bound is the O(n^2 log d) pair table;
+* **Theorem 3** — delimited + regular ⟹ a stretch-3 compact scheme
+  exists (the generalized Cowen construction);
+* **Theorem 4 / 5 / 8** — a condition (1) witness (or its non-delimited
+  BGP analogue) ⟹ no finite-stretch compact scheme at all.
+
+The open questions the paper flags are preserved as ``None`` outcomes: the
+classification refuses to guess where the paper has no theorem (e.g. a
+non-selective, non-strictly-monotone delimited algebra).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.algebra.base import RoutingAlgebra
+from repro.algebra.properties import PropertyProfile, empirical_profile
+
+
+class MemoryClass(enum.Enum):
+    """Asymptotic local-memory classes used in Table 1."""
+
+    LOGARITHMIC = "Theta(log n)"
+    LINEAR = "Theta~(n)"  # Omega(n) lower, O(n log d) upper (Observation 1)
+    LINEAR_LOWER_ONLY = "Omega(n), O(n^2 log d) trivial upper"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Everything the paper's theorems determine about one algebra."""
+
+    algebra_name: str
+    profile: PropertyProfile
+    compressible: Optional[bool]
+    memory_class: MemoryClass
+    stretch3_scheme_exists: Optional[bool]
+    finite_stretch_impossible: Optional[bool]
+    reasons: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        compress = {True: "compressible", False: "incompressible", None: "open"}[
+            self.compressible
+        ]
+        return (
+            f"{self.algebra_name}: [{self.profile.summary()}] {compress}, "
+            f"memory {self.memory_class.value}, "
+            f"stretch-3 scheme: {self.stretch3_scheme_exists}, "
+            f"no finite stretch: {self.finite_stretch_impossible}"
+        )
+
+
+def classify_profile(profile: PropertyProfile, algebra_name: str = "algebra",
+                     condition1_witness: bool = False,
+                     sm_subalgebra_witness: bool = False) -> Classification:
+    """Apply the theorems to a property profile.
+
+    ``condition1_witness`` asserts a Theorem 4-style weight family has been
+    exhibited for the algebra (see :mod:`repro.lowerbounds.theorem4`);
+    ``sm_subalgebra_witness`` asserts a delimited strictly monotone
+    subalgebra exists (Lemma 2) even if the algebra itself is not SM.
+    """
+    reasons: List[str] = []
+    compressible: Optional[bool] = None
+    memory = MemoryClass.UNKNOWN
+
+    if profile.selective and profile.monotone:
+        compressible = True
+        memory = MemoryClass.LOGARITHMIC
+        reasons.append(
+            "Theorem 1: selective + monotone maps to a preferred spanning tree; "
+            "tree routing needs Theta(log n) bits"
+        )
+    elif (profile.delimited and profile.strictly_monotone) or sm_subalgebra_witness:
+        compressible = False
+        if sm_subalgebra_witness and not (profile.delimited and profile.strictly_monotone):
+            reasons.append(
+                "Lemma 2: a delimited strictly monotone subalgebra embeds "
+                "shortest-path routing, so Omega(n) bits are required"
+            )
+        else:
+            reasons.append(
+                "Theorem 2: delimited + strictly monotone is incompressible (Omega(n))"
+            )
+        if profile.regular:
+            memory = MemoryClass.LINEAR
+            reasons.append(
+                "Observation 1: regularity gives the matching O(n log d) "
+                "destination-table upper bound"
+            )
+        else:
+            memory = MemoryClass.LINEAR_LOWER_ONLY
+            reasons.append(
+                "non-isotone: only the O(n^2 log d) pair table is known; "
+                "tightness of Omega(n) is open (Section 6)"
+            )
+    elif condition1_witness:
+        compressible = False
+        memory = MemoryClass.LINEAR_LOWER_ONLY
+        reasons.append("Theorem 4 witness implies Omega(n) even with stretch")
+    else:
+        reasons.append(
+            "no theorem applies: the paper leaves the necessary conditions "
+            "for (in)compressibility open (Section 6)"
+        )
+
+    if profile.delimited and profile.regular:
+        stretch3 = True
+        reasons.append(
+            "Theorem 3: delimited + regular admits the generalized Cowen "
+            "stretch-3 scheme with o(n) memory"
+        )
+    elif profile.delimited is False or profile.regular is False:
+        stretch3 = None  # sufficiency fails; necessity is open (Section 4.2)
+    else:
+        stretch3 = None
+
+    if condition1_witness:
+        finite_stretch_impossible = True
+        reasons.append(
+            "Theorem 4: the condition (1) weight family forces any stretch-k "
+            "scheme to encode the exact preferred paths (Omega(n) bits)"
+        )
+    elif profile.selective and profile.monotone:
+        finite_stretch_impossible = False
+        reasons.append("stretch is moot: w^k = w for selective algebras")
+    elif profile.delimited and profile.regular:
+        finite_stretch_impossible = False
+    else:
+        finite_stretch_impossible = None
+
+    return Classification(
+        algebra_name=algebra_name,
+        profile=profile,
+        compressible=compressible,
+        memory_class=memory,
+        stretch3_scheme_exists=stretch3,
+        finite_stretch_impossible=finite_stretch_impossible,
+        reasons=reasons,
+    )
+
+
+def classify(algebra: RoutingAlgebra, rng=None, condition1_witness: bool = False,
+             sm_subalgebra_witness: bool = False, verify_empirically: bool = False
+             ) -> Classification:
+    """Classify *algebra* from its declared (optionally verified) profile.
+
+    With ``verify_empirically=True`` the declared flags are merged with a
+    measured profile, so undeclared properties still feed the decision tree.
+    """
+    profile = algebra.declared_properties()
+    if verify_empirically:
+        measured = empirical_profile(algebra, rng=rng)
+        profile = profile.merged_with(measured)
+    return classify_profile(
+        profile,
+        algebra_name=algebra.name,
+        condition1_witness=condition1_witness,
+        sm_subalgebra_witness=sm_subalgebra_witness,
+    )

@@ -1,0 +1,124 @@
+"""Scheme selection: from an algebra's properties to a runnable scheme.
+
+``build_scheme`` is the library's "compiler": it inspects the algebra's
+declared properties and picks the best admissible routing scheme, exactly
+following the paper's classification —
+
+=============================  =======================================
+algebra                        scheme
+=============================  =======================================
+selective + monotone           tree routing on the Lemma 1 tree
+regular (exact routing)        destination tables (Observation 1)
+regular + delimited (compact)  generalized Cowen stretch-3 (Theorem 3)
+non-isotone                    source-destination pair tables
+B1/B2 under A1 + A2            the Theorem 6 / Theorem 7 tree schemes
+=============================  =======================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.algebra.base import RoutingAlgebra
+from repro.algebra.bgp import PEER, BGPAlgebra
+from repro.algebra.catalog import ShortestPath, WidestPath
+from repro.algebra.lexicographic import LexicographicProduct
+from repro.exceptions import NotApplicableError
+from repro.graphs.weighting import WEIGHT_ATTR
+from repro.routing.bgp_schemes import B1TreeScheme, B2ConeScheme
+from repro.routing.cowen import CowenScheme
+from repro.routing.destination_table import DestinationTableScheme
+from repro.routing.model import RoutingScheme
+from repro.routing.pair_table import (
+    PairTableScheme,
+    enumeration_oracle,
+    shortest_widest_oracle,
+)
+from repro.routing.tree_routing import TreeRoutingScheme
+
+MODES = ("auto", "exact", "compact")
+
+
+def _is_shortest_widest(algebra) -> bool:
+    return (
+        isinstance(algebra, LexicographicProduct)
+        and isinstance(algebra.first, WidestPath)
+        and isinstance(algebra.second, ShortestPath)
+    )
+
+
+def _build_bgp(graph, algebra, attr):
+    has_peers = any(data[attr] == PEER for _, _, data in graph.edges(data=True))
+    if has_peers:
+        return B2ConeScheme(graph, algebra, attr=attr)
+    return B1TreeScheme(graph, algebra, attr=attr)
+
+
+def build_scheme(graph, algebra: RoutingAlgebra, mode: str = "auto",
+                 attr: str = WEIGHT_ATTR, rng: Optional[random.Random] = None,
+                 **kwargs) -> RoutingScheme:
+    """Build the routing scheme the paper's theory prescribes for *algebra*.
+
+    *mode*:
+
+    * ``"exact"`` — the best scheme that routes on preferred paths only;
+    * ``"compact"`` — the best sublinear scheme, trading stretch for
+      memory where the theory allows (Theorem 3);
+    * ``"auto"`` — ``exact``, upgraded to the compact scheme when that
+      is exact anyway (selective algebras).
+
+    Raises :class:`NotApplicableError` when no scheme in the catalog can
+    implement the algebra on this graph (the honest outcome for, e.g., the
+    un-assumed B3 policy, per Theorem 8).
+    """
+    if mode not in MODES:
+        raise NotApplicableError(f"unknown mode {mode!r}; pick one of {MODES}")
+    declared = algebra.declared_properties()
+
+    if isinstance(algebra, BGPAlgebra):
+        # Theorems 6/7 schemes validate A1 + A2 structure themselves; B3's
+        # ranked preference admits no compact scheme (Theorem 8), so only
+        # the linear-memory RIB (what BGP actually deploys) is available.
+        if len(set(algebra.ranks.values())) > 1:
+            if mode == "compact":
+                raise NotApplicableError(
+                    f"{algebra.name}: ranked BGP preferences are incompressible "
+                    f"even under A1 + A2 (Theorem 8); no compact scheme exists — "
+                    f"use mode='exact' for the Theta(n)-bit RIB"
+                )
+            from repro.protocols.path_vector import PathVectorSimulation
+            from repro.routing.bgp_rib import RIBScheme
+
+            simulation = PathVectorSimulation(graph, algebra, attr=attr)
+            if not simulation.run().converged:
+                raise NotApplicableError(
+                    f"{algebra.name}: path-vector routing did not converge on "
+                    f"this topology; no stable RIB exists"
+                )
+            return RIBScheme(simulation)
+        return _build_bgp(graph, algebra, attr)
+
+    if declared.selective and declared.monotone:
+        return TreeRoutingScheme(graph, algebra, attr=attr)
+
+    if declared.regular:
+        if mode == "compact":
+            if not declared.delimited:
+                raise NotApplicableError(
+                    f"{algebra.name}: Theorem 3's compact scheme needs delimitedness"
+                )
+            return CowenScheme(graph, algebra, attr=attr, rng=rng, **kwargs)
+        return DestinationTableScheme(graph, algebra, attr=attr)
+
+    if declared.isotone is False:
+        if _is_shortest_widest(algebra):
+            oracle = shortest_widest_oracle(graph, attr=attr)
+        else:
+            oracle = enumeration_oracle(graph, algebra, attr=attr)
+        return PairTableScheme(graph, algebra, oracle=oracle, attr=attr)
+
+    raise NotApplicableError(
+        f"no scheme known for {algebra.name} with profile "
+        f"[{declared.summary()}]"
+    )

@@ -1,0 +1,116 @@
+"""Automated algebra investigation: classification with witness search.
+
+``classify`` applies the theorems to *declared/measured* property flags;
+the paper's sharper tools are existential — Lemma 2 needs *some* weight
+generating a delimited strictly monotone (order-isomorphic-to-ℕ) cyclic
+subalgebra, and Theorem 4 needs *some* condition (1) weight family.
+``investigate`` hunts for both witnesses by sampling the algebra's own
+weights, then feeds what it finds back into the classifier.
+
+This is how the library settles policies whose top-level flags are
+inconclusive: most-reliable-path (SM fails at weight 1, but any interior
+weight generates the Lemma 2 witness) or a user's custom algebra (see
+``examples/custom_algebra.py``).  A failed search is evidence, not proof
+— the report records it as such.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.algebra.base import RoutingAlgebra, Weight
+from repro.algebra.power import embeds_shortest_path
+from repro.algebra.properties import PropertyProfile, empirical_profile
+from repro.core.classify import Classification, classify_profile
+from repro.lowerbounds.theorem4 import find_condition1_weights
+
+
+@dataclass(frozen=True)
+class Investigation:
+    """Everything the automated analysis established about an algebra."""
+
+    algebra_name: str
+    profile: PropertyProfile
+    lemma2_generator: Optional[Weight]
+    condition1_witness: Optional[Tuple]
+    classification: Classification
+
+    def summary(self) -> str:
+        lines = [self.classification.summary()]
+        if self.lemma2_generator is not None:
+            lines.append(
+                f"  Lemma 2 witness: weight {self.lemma2_generator!r} generates a "
+                f"cyclic subalgebra order-isomorphic to (N, +, <=)"
+            )
+        if self.condition1_witness is not None:
+            lines.append(
+                f"  Theorem 4 witness (k=2): {self.condition1_witness!r}"
+            )
+        return "\n".join(lines)
+
+
+def find_lemma2_generator(algebra: RoutingAlgebra, rng=None, attempts: int = 24,
+                          bound: int = 16) -> Optional[Weight]:
+    """Search for a weight whose powers embed shortest-path routing.
+
+    Such a weight certifies a delimited strictly monotone cyclic
+    subalgebra (Lemma 2), hence incompressibility.  Returns the generator
+    or None if none was found among the sampled weights.
+    """
+    rng = rng or random.Random(0)
+    pool = algebra.canonical_weights()
+    if pool is None:
+        pool = algebra.sample_weights(rng, attempts)
+    seen = set()
+    for weight in pool:
+        if weight in seen:
+            continue
+        seen.add(weight)
+        if embeds_shortest_path(algebra, weight, bound=bound):
+            return weight
+    return None
+
+
+def investigate(algebra: RoutingAlgebra, rng=None, samples: int = 24,
+                stretch_k: int = 2) -> Investigation:
+    """Measure, search for witnesses, and classify.
+
+    The declared profile is merged with the measured one; the Lemma 2
+    generator search runs only when strict monotonicity of the whole
+    algebra is not already established (the witness would be redundant),
+    and the condition (1) search runs only when isotonicity fails (for
+    regular algebras condition (1) at k >= 2 is impossible).
+    """
+    rng = rng or random.Random(0)
+    profile = algebra.declared_properties().merged_with(
+        empirical_profile(algebra, rng=rng, samples=samples)
+    )
+
+    generator = None
+    if not (profile.strictly_monotone and profile.delimited):
+        generator = find_lemma2_generator(algebra, rng=rng, attempts=samples)
+        if generator is not None and profile.delimited is False:
+            # powers stayed finite, but the algebra itself is non-delimited:
+            # the embedding only certifies the subalgebra's delimitedness
+            # along the sampled powers; keep it (Lemma 2 needs exactly that)
+            pass
+
+    witness = None
+    if profile.isotone is False:
+        witness = find_condition1_weights(algebra, k=stretch_k, rng=rng)
+
+    classification = classify_profile(
+        profile,
+        algebra_name=algebra.name,
+        condition1_witness=witness is not None,
+        sm_subalgebra_witness=generator is not None,
+    )
+    return Investigation(
+        algebra_name=algebra.name,
+        profile=profile,
+        lemma2_generator=generator,
+        condition1_witness=witness,
+        classification=classification,
+    )

@@ -1,0 +1,131 @@
+"""Scaling-law estimation for the memory experiments.
+
+The paper's Table 1 classifies local memory as Theta(log n) vs Theta(n)
+(and O(n^2 log d) for the non-isotone trivial scheme).  The experiments
+measure per-node bits over growing ``n`` and must decide which asymptotic
+class the measurements follow.  Two complementary estimators:
+
+* :func:`fit_scaling` — least-squares fit of ``bits = a * f(n) + b`` for a
+  catalog of candidate shapes, ranked by residual error;
+* :func:`loglog_slope` — the slope of ``log bits`` vs ``log n``, which
+  separates polynomial classes (slope ~1 for linear, ~2/3 or ~1/2 for the
+  compact schemes, ~0 for logarithmic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+#: Candidate shapes f(n); fits are bits ≈ a·f(n) + b with a >= 0.
+MODELS: Dict[str, callable] = {
+    "log n": lambda n: math.log2(n),
+    "sqrt n": lambda n: math.sqrt(n),
+    "n^(2/3)": lambda n: n ** (2.0 / 3.0),
+    "n": lambda n: float(n),
+    "n log n": lambda n: n * math.log2(n),
+    "n^2": lambda n: float(n) ** 2,
+}
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """The best-fitting asymptotic shape for a (n, bits) series."""
+
+    best_model: str
+    coefficient: float
+    intercept: float
+    r_squared: float
+    loglog_slope: float
+    per_model_r2: Dict[str, float]
+
+    def summary(self) -> str:
+        return (
+            f"best fit {self.best_model} (R^2={self.r_squared:.4f}, "
+            f"log-log slope {self.loglog_slope:.2f})"
+        )
+
+
+def _linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares y = a x + b; returns (a, b, R^2)."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        return 0.0, mean_y, 0.0
+    a = sxy / sxx
+    b = mean_y - a * mean_x
+    ss_res = sum((y - (a * x + b)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return a, b, r2
+
+
+def loglog_slope(ns: Sequence[int], bits: Sequence[float]) -> float:
+    """Slope of log2(bits) against log2(n)."""
+    xs = [math.log2(n) for n in ns]
+    ys = [math.log2(max(b, 1e-9)) for b in bits]
+    slope, _, _ = _linear_fit(xs, ys)
+    return slope
+
+
+#: With an intercept and few sizes, ``a*log n + b`` approximates slowly
+#: growing polynomials extremely well; whenever the logarithmic model is
+#: within this R^2 margin of the best fit, report it (the conservative,
+#: slower-growing class).  Polynomial shapes are left to compete on raw R^2.
+_LOG_TIE_EPSILON = 0.015
+
+
+def fit_scaling(ns: Sequence[int], bits: Sequence[float]) -> ScalingFit:
+    """Fit every candidate model; best R^2 wins, with an Occam preference
+    for ``log n`` when it is statistically indistinguishable from the best.
+
+    Needs at least 3 points spanning a decent range of n to be meaningful;
+    the experiments use 4-6 sizes per family.
+    """
+    if len(ns) != len(bits) or len(ns) < 3:
+        raise ValueError("need at least 3 (n, bits) points")
+    per_model: Dict[str, float] = {}
+    fits = {}
+    for name, shape in MODELS.items():
+        xs = [shape(n) for n in ns]
+        a, b, r2 = _linear_fit(xs, list(bits))
+        if a < 0:
+            # A negative coefficient means the shape grows the wrong way;
+            # disqualify rather than report a spurious fit.
+            r2 = float("-inf")
+        per_model[name] = r2
+        fits[name] = (a, b)
+    best_r2 = max(per_model.values())
+    if per_model["log n"] >= best_r2 - _LOG_TIE_EPSILON:
+        name = "log n"
+    else:
+        name = max(per_model, key=per_model.get)
+    r2 = per_model[name]
+    a, b = fits[name]
+    return ScalingFit(
+        best_model=name,
+        coefficient=a,
+        intercept=b,
+        r_squared=r2,
+        loglog_slope=loglog_slope(ns, bits),
+        per_model_r2=per_model,
+    )
+
+
+def is_sublinear(ns: Sequence[int], bits: Sequence[float], slack: float = 0.85) -> bool:
+    """Heuristic compressibility verdict: log-log slope clearly below 1."""
+    return loglog_slope(ns, bits) < slack
+
+
+def is_superlogarithmic(ns: Sequence[int], bits: Sequence[float], slack: float = 0.5
+                        ) -> bool:
+    """Heuristic incompressibility signal: grows much faster than log n.
+
+    True when doubling n scales bits by clearly more than a constant
+    additive term — i.e. the log-log slope stays above *slack*.
+    """
+    return loglog_slope(ns, bits) > slack

@@ -1,0 +1,164 @@
+"""End-to-end scheme evaluation: delivery, optimality, stretch and memory.
+
+``evaluate_scheme`` is the verification harness every experiment rests on:
+it pushes packets between node pairs through the hop-by-hop model, compares
+each realized path weight to the true preferred weight (from an appropriate
+exact engine), and aggregates delivery, stretch and memory into one report.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.algebra.base import PHI, RoutingAlgebra, is_phi
+from repro.algebra.bgp import BGPAlgebra
+from repro.algebra.lexicographic import LexicographicProduct
+from repro.algebra.catalog import ShortestPath, WidestPath
+from repro.exceptions import ReproError
+from repro.graphs.weighting import WEIGHT_ATTR
+from repro.routing.memory import MemoryReport, memory_report
+from repro.routing.model import RoutingScheme
+from repro.routing.stretch import StretchReport, measure_stretch
+
+#: Oracle signature: (source, target) -> preferred weight (PHI if unreachable).
+WeightOracle = Callable[[object, object], object]
+
+
+def preferred_weight_oracle(graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR
+                            ) -> WeightOracle:
+    """Pick the right exact engine for *algebra* and wrap it as an oracle."""
+    if isinstance(algebra, BGPAlgebra):
+        from repro.paths.valley_free import all_pairs_bgp_routes
+
+        routes = all_pairs_bgp_routes(graph, algebra, attr=attr)
+
+        def bgp_oracle(s, t):
+            route = routes[s].get(t)
+            return route.label if route else PHI
+
+        return bgp_oracle
+
+    if (
+        isinstance(algebra, LexicographicProduct)
+        and isinstance(algebra.first, WidestPath)
+        and isinstance(algebra.second, ShortestPath)
+    ):
+        from repro.paths.shortest_widest import all_pairs_shortest_widest
+
+        routes = all_pairs_shortest_widest(graph, attr=attr)
+
+        def sw_oracle(s, t):
+            route = routes[s].get(t)
+            return route.weight if route else PHI
+
+        return sw_oracle
+
+    declared = algebra.declared_properties()
+    if declared.monotone is not False and declared.isotone is not False:
+        from repro.paths.dijkstra import preferred_path_tree
+
+        trees = {
+            node: preferred_path_tree(graph, algebra, node, attr=attr)
+            for node in graph.nodes()
+        }
+        return lambda s, t: trees[s].weight.get(t, PHI)
+
+    from repro.paths.enumerate import preferred_by_enumeration
+
+    def enum_oracle(s, t):
+        found = preferred_by_enumeration(graph, algebra, s, t, attr=attr)
+        return found.weight if found else PHI
+
+    return enum_oracle
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """The outcome of routing a set of pairs through a scheme."""
+
+    scheme_name: str
+    pairs: int
+    delivered: int
+    optimal: int
+    stretch: StretchReport
+    memory: MemoryReport
+    failures: Tuple
+
+    @property
+    def all_delivered(self) -> bool:
+        return self.delivered == self.pairs
+
+    @property
+    def all_optimal(self) -> bool:
+        return self.optimal == self.pairs
+
+    def summary(self) -> str:
+        return (
+            f"{self.scheme_name}: delivered {self.delivered}/{self.pairs}, "
+            f"optimal {self.optimal}/{self.pairs}, max stretch "
+            f"{self.stretch.max_stretch}, memory max {self.memory.max_bits}b "
+            f"(avg {self.memory.avg_bits:.1f}b)"
+        )
+
+
+def sample_pairs(graph, count: Optional[int] = None, rng: Optional[random.Random] = None
+                 ) -> list:
+    """All ordered pairs, or a random sample of *count* of them."""
+    nodes = sorted(graph.nodes())
+    pairs = [(s, t) for s, t in itertools.permutations(nodes, 2)]
+    if count is None or count >= len(pairs):
+        return pairs
+    rng = rng or random.Random(0)
+    return rng.sample(pairs, count)
+
+
+def evaluate_scheme(graph, algebra: RoutingAlgebra, scheme: RoutingScheme,
+                    pairs: Optional[Iterable[Tuple]] = None,
+                    oracle: Optional[WeightOracle] = None,
+                    max_k: int = 16) -> EvaluationReport:
+    """Route every pair, verify against the preferred-weight oracle, report.
+
+    Unreachable pairs (preferred weight ``PHI``) are skipped — the model
+    only promises routes where a traversable path exists.
+    """
+    if pairs is None:
+        pairs = sample_pairs(graph)
+    if oracle is None:
+        oracle = preferred_weight_oracle(graph, algebra, attr=scheme.attr)
+
+    routed = 0
+    delivered = 0
+    optimal = 0
+    failures = []
+    samples = []
+    for s, t in pairs:
+        preferred = oracle(s, t)
+        if is_phi(preferred):
+            continue
+        routed += 1
+        try:
+            result = scheme.route(s, t)
+        except ReproError as exc:
+            failures.append((s, t, str(exc)))
+            continue
+        if not result.delivered:
+            failures.append((s, t, result.reason))
+            continue
+        delivered += 1
+        realized = scheme.realized_weight(result)
+        samples.append((preferred, realized))
+        if algebra.eq(realized, preferred):
+            optimal += 1
+    stretch = measure_stretch(algebra, samples, scheme_name=scheme.name, max_k=max_k)
+    return EvaluationReport(
+        scheme_name=scheme.name,
+        pairs=routed,
+        delivered=delivered,
+        optimal=optimal,
+        stretch=stretch,
+        memory=memory_report(scheme),
+        failures=tuple(failures[:16]),
+    )

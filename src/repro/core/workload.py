@@ -1,0 +1,97 @@
+"""Traffic workload generation for the evaluation harness.
+
+The paper's model promises a preferred route for *every* communicating
+pair; which pairs actually communicate shapes the measured averages.
+Three standard generators:
+
+* :func:`uniform_pairs` — ordered pairs uniformly at random;
+* :func:`gravity_pairs` — pair probability proportional to
+  ``deg(s) * deg(t)`` (the classic gravity model: traffic concentrates on
+  hubs, the regime where Cowen clusters earn their keep);
+* :func:`stub_pairs` — for BGP topologies: traffic between *stub* ASes
+  (no customers), the dominant real-world pattern, exercising the full
+  up-peer-down path shape.
+
+All generators are deterministic given a seeded ``random.Random`` and
+de-duplicate pairs, so a workload can be replayed against several schemes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.algebra.bgp import CUSTOMER
+from repro.exceptions import GraphError
+from repro.graphs.weighting import WEIGHT_ATTR
+
+
+def _rng(rng) -> random.Random:
+    return rng if isinstance(rng, random.Random) else random.Random(rng or 0)
+
+
+def uniform_pairs(graph, count: int, rng=None) -> List[Tuple]:
+    """*count* distinct ordered pairs, uniform over all of them."""
+    rng = _rng(rng)
+    nodes = sorted(graph.nodes())
+    if len(nodes) < 2:
+        raise GraphError("need at least 2 nodes for a workload")
+    total = len(nodes) * (len(nodes) - 1)
+    count = min(count, total)
+    seen = set()
+    while len(seen) < count:
+        s, t = rng.sample(nodes, 2)
+        seen.add((s, t))
+    return sorted(seen)
+
+
+def gravity_pairs(graph, count: int, rng=None) -> List[Tuple]:
+    """*count* distinct ordered pairs, weighted by ``deg(s) * deg(t)``."""
+    rng = _rng(rng)
+    nodes = sorted(graph.nodes())
+    if len(nodes) < 2:
+        raise GraphError("need at least 2 nodes for a workload")
+    weights = [max(1, graph.degree(node)) for node in nodes]
+    total = len(nodes) * (len(nodes) - 1)
+    count = min(count, total)
+    seen = set()
+    attempts = 0
+    while len(seen) < count and attempts < 200 * count:
+        attempts += 1
+        s = rng.choices(nodes, weights=weights)[0]
+        t = rng.choices(nodes, weights=weights)[0]
+        if s != t:
+            seen.add((s, t))
+    if len(seen) < count:
+        # densify deterministically if rejection sampling stalls
+        for s in nodes:
+            for t in nodes:
+                if s != t:
+                    seen.add((s, t))
+                    if len(seen) >= count:
+                        return sorted(seen)
+    return sorted(seen)
+
+
+def stubs(digraph, attr: str = WEIGHT_ATTR) -> List:
+    """ASes with no customers (leaf networks) in a BGP-labelled digraph."""
+    has_customer = set()
+    for u, _, data in digraph.edges(data=True):
+        if data[attr] == CUSTOMER:
+            has_customer.add(u)
+    return sorted(set(digraph.nodes()) - has_customer)
+
+
+def stub_pairs(digraph, count: int, rng=None, attr: str = WEIGHT_ATTR) -> List[Tuple]:
+    """*count* distinct ordered pairs between stub ASes."""
+    rng = _rng(rng)
+    leaves = stubs(digraph, attr=attr)
+    if len(leaves) < 2:
+        raise GraphError("the topology has fewer than 2 stub ASes")
+    total = len(leaves) * (len(leaves) - 1)
+    count = min(count, total)
+    seen = set()
+    while len(seen) < count:
+        s, t = rng.sample(leaves, 2)
+        seen.add((s, t))
+    return sorted(seen)

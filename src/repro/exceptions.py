@@ -1,0 +1,50 @@
+"""Exception hierarchy for the compact policy routing library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AlgebraError(ReproError):
+    """An algebra is malformed or an operation received an invalid weight."""
+
+
+class AxiomViolationError(AlgebraError):
+    """A routing-algebra axiom (closure, associativity, total order, ...) failed.
+
+    Carries the offending witness so callers can report precise
+    counterexamples, mirroring the counterexample-driven proofs in the paper.
+    """
+
+    def __init__(self, axiom, witness, message=None):
+        self.axiom = axiom
+        self.witness = witness
+        super().__init__(message or f"axiom {axiom!r} violated by witness {witness!r}")
+
+
+class NotApplicableError(ReproError):
+    """A routing scheme cannot implement the given algebra on the given graph.
+
+    Raised, e.g., when tree routing is requested for a non-selective algebra
+    (Theorem 1 requires selectivity + monotonicity), or when the Cowen scheme
+    is requested for a non-delimited or non-regular algebra (Theorem 3).
+    """
+
+
+class RoutingError(ReproError):
+    """Packet forwarding failed (loop detected, no route, bad header)."""
+
+
+class DeliveryError(RoutingError):
+    """A packet was not delivered to its destination."""
+
+    def __init__(self, source, target, reason, path_so_far=None):
+        self.source = source
+        self.target = target
+        self.reason = reason
+        self.path_so_far = list(path_so_far or [])
+        super().__init__(f"packet {source}->{target} not delivered: {reason}")
+
+
+class GraphError(ReproError):
+    """A graph violates a structural precondition (connectivity, A1/A2, ...)."""

@@ -1,0 +1,238 @@
+"""Synthetic AS-level topologies for the BGP algebras (Section 5).
+
+The paper's B1/B2 compressibility results (Theorems 6 and 7) hold under two
+assumptions:
+
+* **A1 (global reachability)** — every ordered node pair has a traversable
+  (valley-free) path;
+* **A2 (no provider loops)** — the provider arcs form a DAG.
+
+Real AS relationship data is proprietary/measured; we substitute a tiered
+Gao-Rexford-style generator that produces customer-provider hierarchies
+with an optional full peer mesh among the tier-1 roots, constructed to
+satisfy A1 and A2 by design (and re-checked by the validators below).
+
+Graphs are :class:`networkx.DiGraph` objects containing both arc
+directions with symmetric labels (``w(i,j)=p  <=>  w(j,i)=c``; ``r`` is
+symmetric), matching the Section 5 model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+import networkx as nx
+
+from repro.algebra.bgp import CUSTOMER, PEER, PROVIDER, REVERSE_LABEL
+from repro.exceptions import GraphError
+from repro.graphs.weighting import WEIGHT_ATTR
+
+
+def add_relationship(digraph: nx.DiGraph, customer, provider, attr: str = WEIGHT_ATTR):
+    """Record that *customer* buys transit from *provider* (both arcs)."""
+    digraph.add_edge(customer, provider, **{attr: PROVIDER})
+    digraph.add_edge(provider, customer, **{attr: CUSTOMER})
+
+
+def add_peering(digraph: nx.DiGraph, left, right, attr: str = WEIGHT_ATTR):
+    """Record a settlement-free peering between *left* and *right*."""
+    digraph.add_edge(left, right, **{attr: PEER})
+    digraph.add_edge(right, left, **{attr: PEER})
+
+
+def check_label_symmetry(digraph: nx.DiGraph, attr: str = WEIGHT_ATTR):
+    """Validate the Section 5 arc-label constraint; raise GraphError if broken."""
+    for u, v, data in digraph.edges(data=True):
+        label = data[attr]
+        if label not in REVERSE_LABEL:
+            raise GraphError(f"arc ({u},{v}) has unknown label {label!r}")
+        if not digraph.has_edge(v, u):
+            raise GraphError(f"arc ({u},{v}) has no reverse arc")
+        if digraph[v][u][attr] != REVERSE_LABEL[label]:
+            raise GraphError(
+                f"arc labels not symmetric on ({u},{v}): {label!r} vs {digraph[v][u][attr]!r}"
+            )
+
+
+def provider_dag(digraph: nx.DiGraph, attr: str = WEIGHT_ATTR) -> nx.DiGraph:
+    """The subgraph of provider (``p``) arcs."""
+    dag = nx.DiGraph()
+    dag.add_nodes_from(digraph.nodes())
+    dag.add_edges_from(
+        (u, v) for u, v, data in digraph.edges(data=True) if data[attr] == PROVIDER
+    )
+    return dag
+
+
+def satisfies_a2(digraph: nx.DiGraph, attr: str = WEIGHT_ATTR) -> bool:
+    """A2: the graph contains no directed provider cycles."""
+    return nx.is_directed_acyclic_graph(provider_dag(digraph, attr))
+
+
+def roots(digraph: nx.DiGraph, attr: str = WEIGHT_ATTR) -> list:
+    """Nodes with no provider (the candidates for the Theorem 6 root)."""
+    dag = provider_dag(digraph, attr)
+    return sorted(node for node in dag.nodes() if dag.out_degree(node) == 0)
+
+
+def satisfies_a1(digraph: nx.DiGraph, attr: str = WEIGHT_ATTR) -> bool:
+    """A1: every ordered pair has a traversable valley-free path.
+
+    Delegates to the valley-free reachability computation in
+    :mod:`repro.paths.valley_free`.
+    """
+    from repro.paths.valley_free import valley_free_reachable_sets
+
+    nodes = list(digraph.nodes())
+    reachable = valley_free_reachable_sets(digraph, attr=attr)
+    return all(
+        v in reachable[u] for u in nodes for v in nodes if u != v
+    )
+
+
+def provider_tree_topology(n: int, rng=None, max_providers: int = 1,
+                           attr: str = WEIGHT_ATTR) -> nx.DiGraph:
+    """A single-rooted customer-provider hierarchy on *n* nodes.
+
+    Node 0 is the unique root; every other node picks its primary provider
+    among lower-numbered nodes (guaranteeing A2) plus up to
+    ``max_providers - 1`` additional backup providers.  Satisfies A1 + A2
+    for the B1 algebra: every node reaches every other via
+    "up to the root, down to the target".
+    """
+    if n < 1:
+        raise GraphError("provider_tree_topology needs n >= 1")
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng or 0)
+    digraph = nx.DiGraph()
+    digraph.add_node(0)
+    for node in range(1, n):
+        digraph.add_node(node)
+        primary = rng.randrange(node)
+        add_relationship(digraph, node, primary, attr)
+        extra = rng.randint(0, max(0, max_providers - 1))
+        candidates = [c for c in range(node) if c != primary]
+        rng.shuffle(candidates)
+        for backup in candidates[:extra]:
+            add_relationship(digraph, node, backup, attr)
+    return digraph
+
+
+def tiered_as_topology(tier1: int = 3, tier2: int = 6, stubs: int = 12, rng=None,
+                       providers_per_node: int = 2, extra_peerings: int = 0,
+                       attr: str = WEIGHT_ATTR) -> nx.DiGraph:
+    """A three-tier AS topology with a full tier-1 peer mesh.
+
+    * tier-1 nodes ``0 .. tier1-1``: no providers, pairwise peering;
+    * tier-2 nodes: 1..providers_per_node providers among tier-1;
+    * stub nodes: 1..providers_per_node providers among tier-2.
+
+    Optionally *extra_peerings* additional random tier-2 peerings are added
+    (they never break A1/A2).  The result satisfies A1 + A2 for the B2
+    algebra: every node climbs to a tier-1 root, crosses at most one peer
+    arc, and descends to the destination.
+    """
+    if tier1 < 1 or tier2 < 0 or stubs < 0:
+        raise GraphError("tier sizes must be non-negative (tier1 >= 1)")
+    if providers_per_node < 1:
+        raise GraphError("providers_per_node must be >= 1")
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng or 0)
+    digraph = nx.DiGraph()
+    t1 = list(range(tier1))
+    t2 = list(range(tier1, tier1 + tier2))
+    t3 = list(range(tier1 + tier2, tier1 + tier2 + stubs))
+    digraph.add_nodes_from(t1 + t2 + t3)
+    for i in t1:
+        for j in t1:
+            if i < j:
+                add_peering(digraph, i, j, attr)
+    for node in t2:
+        count = rng.randint(1, min(providers_per_node, len(t1)))
+        for provider in rng.sample(t1, count):
+            add_relationship(digraph, node, provider, attr)
+    for node in t3:
+        pool = t2 if t2 else t1
+        count = rng.randint(1, min(providers_per_node, len(pool)))
+        for provider in rng.sample(pool, count):
+            add_relationship(digraph, node, provider, attr)
+    candidates = [(a, b) for a in t2 for b in t2 if a < b and not digraph.has_edge(a, b)]
+    rng.shuffle(candidates)
+    for a, b in candidates[:extra_peerings]:
+        add_peering(digraph, a, b, attr)
+    return digraph
+
+
+def coned_as_topology(tier1: int = 3, tier2_per_cone: int = 2, stubs_per_cone: int = 4,
+                      rng=None, providers_per_node: int = 2,
+                      attr: str = WEIGHT_ATTR) -> nx.DiGraph:
+    """A tiered AS topology whose customer cones are *disjoint*.
+
+    Like :func:`tiered_as_topology`, but every tier-2 and stub node is
+    assigned to exactly one tier-1 root's cone and multihomes only within
+    that cone.  This yields the clean SVFC structure the Theorem 7 scheme
+    (:class:`repro.routing.bgp_schemes.B2ConeScheme`) requires: one
+    provider tree per root, roots in a full peer mesh, cones pairwise
+    disjoint.  Satisfies A1 + A2 by construction.
+    """
+    if tier1 < 1 or tier2_per_cone < 0 or stubs_per_cone < 0:
+        raise GraphError("cone sizes must be non-negative (tier1 >= 1)")
+    if providers_per_node < 1:
+        raise GraphError("providers_per_node must be >= 1")
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng or 0)
+    digraph = nx.DiGraph()
+    t1 = list(range(tier1))
+    digraph.add_nodes_from(t1)
+    for i in t1:
+        for j in t1:
+            if i < j:
+                add_peering(digraph, i, j, attr)
+    next_id = tier1
+    for root in t1:
+        mid = list(range(next_id, next_id + tier2_per_cone))
+        next_id += tier2_per_cone
+        low = list(range(next_id, next_id + stubs_per_cone))
+        next_id += stubs_per_cone
+        digraph.add_nodes_from(mid + low)
+        for node in mid:
+            add_relationship(digraph, node, root, attr)
+        for node in low:
+            pool = mid if mid else [root]
+            count = rng.randint(1, min(providers_per_node, len(pool)))
+            for provider in rng.sample(pool, count):
+                add_relationship(digraph, node, provider, attr)
+    return digraph
+
+
+def strongly_connected_valley_free_components(digraph: nx.DiGraph,
+                                              attr: str = WEIGHT_ATTR) -> list:
+    """The SVFC decomposition used in the Theorem 7 proof.
+
+    Temporarily neglecting peer arcs, two nodes belong to the same strongly
+    connected valley-free component iff they can reach each other both ways
+    with valley-free (``p* c*``) paths over customer-provider arcs only.
+    Returns a list of sorted node lists.
+    """
+    from repro.paths.valley_free import valley_free_reachable_sets
+
+    no_peers = nx.DiGraph()
+    no_peers.add_nodes_from(digraph.nodes())
+    no_peers.add_edges_from(
+        (u, v, {attr: data[attr]})
+        for u, v, data in digraph.edges(data=True)
+        if data[attr] != PEER
+    )
+    reachable = valley_free_reachable_sets(no_peers, attr=attr)
+    component_of = {}
+    components = []
+    for u in sorted(digraph.nodes()):
+        if u in component_of:
+            continue
+        members = [u] + [
+            v
+            for v in reachable[u]
+            if u in reachable[v] and v not in component_of
+        ]
+        for member in members:
+            component_of[member] = len(components)
+        components.append(sorted(members))
+    return components

@@ -1,0 +1,64 @@
+"""The Fig. 1 counterexample graphs of Lemma 1.
+
+Lemma 1 shows that a delimited algebra maps to a preferred spanning tree
+iff it is monotone and selective; the "only if" direction is proved by
+three counterexample graphs, one per way selectivity can fail:
+
+* **Fig. 1a** — auto-selectivity fails: some ``w`` with ``w ⊕ w ≻ w``.
+  A triangle with all edges ``w``: every direct edge is the unique
+  preferred path, and three such paths cannot live in one spanning tree.
+* **Fig. 1b** — ``w1 ≺ w2`` but ``w1 ⊕ w2 ≻ w2``.  A triangle with edges
+  ``w1, w2, w2``: again all preferred paths are the direct edges.
+* **Fig. 1c** — ``w1 = w2`` (equal preference) but ``w1 ⊕ w2 ≻ w2``.  A
+  4-cycle with alternating weights ``w1, w2, w1, w2``: preferred paths
+  between adjacent nodes are the direct edges; the two diagonal pairs use
+  two-hop paths (of weight ``w1 ⊕ w2 ≺ phi``, by delimitedness).
+
+These builders take the offending weights as parameters, so the same
+constructions serve any algebra whose selectivity check produced a
+counterexample.  Nodes are numbered from 1, matching the paper's figure.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.weighting import WEIGHT_ATTR
+
+
+def fig1a(w, attr: str = WEIGHT_ATTR) -> nx.Graph:
+    """Triangle with all edges of weight *w* (auto-selectivity violation)."""
+    graph = nx.Graph()
+    graph.add_edge(1, 2, **{attr: w})
+    graph.add_edge(2, 3, **{attr: w})
+    graph.add_edge(1, 3, **{attr: w})
+    return graph
+
+
+def fig1b(w1, w2, attr: str = WEIGHT_ATTR) -> nx.Graph:
+    """Triangle with edges ``(1,2)=w1``, ``(2,3)=w2``, ``(1,3)=w2``.
+
+    For ``w1 ≺ w2`` with ``w1 ⊕ w2 ≻ w2`` the preferred paths are exactly
+    the direct edges.
+    """
+    graph = nx.Graph()
+    graph.add_edge(1, 2, **{attr: w1})
+    graph.add_edge(2, 3, **{attr: w2})
+    graph.add_edge(1, 3, **{attr: w2})
+    return graph
+
+
+def fig1c(w1, w2, attr: str = WEIGHT_ATTR) -> nx.Graph:
+    """4-cycle ``1-2-4-3-1`` with alternating weights ``w1, w2, w1, w2``.
+
+    For equally preferred ``w1 = w2`` with ``w1 ⊕ w2 ≻ w2`` the preferred
+    paths between adjacent nodes are the direct edges (which do not form a
+    spanning tree), while the diagonal pairs ``(1,4)`` and ``(2,3)`` use
+    two-hop paths.
+    """
+    graph = nx.Graph()
+    graph.add_edge(1, 2, **{attr: w1})
+    graph.add_edge(2, 4, **{attr: w2})
+    graph.add_edge(4, 3, **{attr: w1})
+    graph.add_edge(3, 1, **{attr: w2})
+    return graph

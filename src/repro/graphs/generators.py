@@ -1,0 +1,297 @@
+"""Synthetic topology generators.
+
+The paper's results are statements over *all* graphs of size n; the
+experiments exercise them on the standard topology families of the compact
+routing literature (Section 1 cites hypercubes, trees, scale-free and
+planar graphs): Erdos-Renyi, Barabasi-Albert, grids, hypercubes, rings,
+random trees and random geometric graphs.
+
+All generators are deterministic given a :class:`random.Random` instance,
+return connected :class:`networkx.Graph` objects with nodes ``0..n-1``, and
+leave edge weighting to :mod:`repro.graphs.weighting`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+import networkx as nx
+
+from repro.exceptions import GraphError
+
+
+def _require(condition: bool, message: str):
+    if not condition:
+        raise GraphError(message)
+
+
+def _as_rng(rng) -> random.Random:
+    if rng is None:
+        return random.Random(0)
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """The complete graph K_n."""
+    _require(n >= 1, "complete_graph needs n >= 1")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((u, v) for u in range(n) for v in range(u + 1, n))
+    return graph
+
+
+def ring(n: int) -> nx.Graph:
+    """A cycle on n nodes (n >= 3)."""
+    _require(n >= 3, "ring needs n >= 3")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((i, (i + 1) % n) for i in range(n))
+    return graph
+
+
+def path_graph(n: int) -> nx.Graph:
+    """A simple path on n nodes."""
+    _require(n >= 1, "path_graph needs n >= 1")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((i, i + 1) for i in range(n - 1))
+    return graph
+
+
+def star(n: int) -> nx.Graph:
+    """A star: node 0 is the hub, nodes 1..n-1 are leaves."""
+    _require(n >= 2, "star needs n >= 2")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((0, i) for i in range(1, n))
+    return graph
+
+
+def grid(rows: int, cols: int) -> nx.Graph:
+    """A rows x cols 2D grid; node ids are row-major."""
+    _require(rows >= 1 and cols >= 1, "grid needs positive dimensions")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols)
+    return graph
+
+
+def hypercube(dim: int) -> nx.Graph:
+    """The dim-dimensional hypercube on 2^dim nodes."""
+    _require(dim >= 1, "hypercube needs dim >= 1")
+    n = 1 << dim
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for node in range(n):
+        for bit in range(dim):
+            neighbor = node ^ (1 << bit)
+            if node < neighbor:
+                graph.add_edge(node, neighbor)
+    return graph
+
+
+def random_tree(n: int, rng=None) -> nx.Graph:
+    """A uniformly random labelled tree (via a random Pruefer sequence)."""
+    _require(n >= 1, "random_tree needs n >= 1")
+    rng = _as_rng(rng)
+    if n == 1:
+        graph = nx.Graph()
+        graph.add_node(0)
+        return graph
+    if n == 2:
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        return graph
+    sequence = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for node in sequence:
+        degree[node] += 1
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    import heapq
+
+    leaves = [node for node in range(n) if degree[node] == 1]
+    heapq.heapify(leaves)
+    for node in sequence:
+        leaf = heapq.heappop(leaves)
+        graph.add_edge(leaf, node)
+        degree[leaf] = 0  # consumed
+        degree[node] -= 1
+        if degree[node] == 1:
+            heapq.heappush(leaves, node)
+    last = [node for node in range(n) if degree[node] == 1]
+    graph.add_edge(last[0], last[1])
+    return graph
+
+
+def erdos_renyi(n: int, p: Optional[float] = None, rng=None, connect: bool = True) -> nx.Graph:
+    """A G(n, p) random graph, augmented to be connected when *connect*.
+
+    When *p* is omitted it defaults to ``2 ln(n) / n``, comfortably above
+    the connectivity threshold.  If the sampled graph is disconnected and
+    *connect* is set, one random inter-component edge per extra component
+    is added (a standard repair that perturbs the distribution negligibly
+    at this density).
+    """
+    _require(n >= 2, "erdos_renyi needs n >= 2")
+    rng = _as_rng(rng)
+    if p is None:
+        p = min(1.0, 2.0 * math.log(n) / n)
+    _require(0.0 <= p <= 1.0, "p must lie in [0, 1]")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    if connect:
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        components.sort(key=lambda c: c[0])
+        for prev, nxt in zip(components, components[1:]):
+            graph.add_edge(rng.choice(prev), rng.choice(nxt))
+    return graph
+
+
+def barabasi_albert(n: int, m: int = 2, rng=None) -> nx.Graph:
+    """A Barabasi-Albert scale-free graph: each new node attaches m edges.
+
+    Preferential attachment via the repeated-nodes urn; starts from a star
+    on m+1 nodes, so the result is always connected.
+    """
+    _require(n >= 2, "barabasi_albert needs n >= 2")
+    _require(1 <= m < n, "barabasi_albert needs 1 <= m < n")
+    rng = _as_rng(rng)
+    graph = star(m + 1)
+    urn = []
+    for u, v in graph.edges():
+        urn.extend((u, v))
+    for new in range(m + 1, n):
+        targets = set()
+        while len(targets) < m:
+            targets.add(rng.choice(urn))
+        graph.add_node(new)
+        for t in targets:
+            graph.add_edge(new, t)
+            urn.extend((new, t))
+    return graph
+
+
+def random_geometric(n: int, radius: Optional[float] = None, rng=None, connect: bool = True) -> nx.Graph:
+    """A random geometric graph on the unit square.
+
+    Nodes get uniform positions; an edge joins pairs within *radius*
+    (default just above the connectivity threshold ``sqrt(2 ln n / n)``).
+    Positions are stored as the ``pos`` node attribute.
+    """
+    _require(n >= 2, "random_geometric needs n >= 2")
+    rng = _as_rng(rng)
+    if radius is None:
+        radius = min(1.5, math.sqrt(2.0 * math.log(n) / n) * 1.1)
+    positions = {i: (rng.random(), rng.random()) for i in range(n)}
+    graph = nx.Graph()
+    for node, pos in positions.items():
+        graph.add_node(node, pos=pos)
+    for u in range(n):
+        for v in range(u + 1, n):
+            (x1, y1), (x2, y2) = positions[u], positions[v]
+            if (x1 - x2) ** 2 + (y1 - y2) ** 2 <= radius**2:
+                graph.add_edge(u, v)
+    if connect:
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        components.sort(key=lambda c: c[0])
+        for prev, nxt in zip(components, components[1:]):
+            graph.add_edge(rng.choice(prev), rng.choice(nxt))
+    return graph
+
+
+def waxman(n: int, alpha: float = 0.4, beta: float = 0.4, rng=None,
+           connect: bool = True) -> nx.Graph:
+    """A Waxman random topology — the classic internetwork model.
+
+    Nodes get uniform positions on the unit square; an edge joins (u, v)
+    with probability ``beta * exp(-d(u,v) / (alpha * sqrt(2)))``.
+    Positions are stored as the ``pos`` node attribute.
+    """
+    _require(n >= 2, "waxman needs n >= 2")
+    _require(0 < alpha <= 1 and 0 < beta <= 1, "alpha, beta must lie in (0, 1]")
+    rng = _as_rng(rng)
+    positions = {i: (rng.random(), rng.random()) for i in range(n)}
+    graph = nx.Graph()
+    for node, pos in positions.items():
+        graph.add_node(node, pos=pos)
+    scale = alpha * math.sqrt(2.0)
+    for u in range(n):
+        for v in range(u + 1, n):
+            (x1, y1), (x2, y2) = positions[u], positions[v]
+            distance = math.hypot(x1 - x2, y1 - y2)
+            if rng.random() < beta * math.exp(-distance / scale):
+                graph.add_edge(u, v)
+    if connect:
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        components.sort(key=lambda c: c[0])
+        for prev, nxt in zip(components, components[1:]):
+            graph.add_edge(rng.choice(prev), rng.choice(nxt))
+    return graph
+
+
+def fat_tree(k: int) -> nx.Graph:
+    """A k-ary fat-tree data-center topology (k even).
+
+    The standard 3-layer Clos arrangement: ``(k/2)^2`` core switches,
+    ``k`` pods of ``k/2`` aggregation + ``k/2`` edge switches each —
+    ``5k^2/4`` switches total (hosts are omitted; routing happens between
+    switches).  Node ids: cores first, then per pod aggregation then edge.
+    Each node carries ``layer`` and ``pod`` attributes.
+    """
+    _require(k >= 2 and k % 2 == 0, "fat_tree needs an even k >= 2")
+    half = k // 2
+    graph = nx.Graph()
+    cores = [(i, j) for i in range(half) for j in range(half)]
+    core_id = {}
+    for index, (i, j) in enumerate(cores):
+        core_id[(i, j)] = index
+        graph.add_node(index, layer="core", pod=None)
+    next_id = len(cores)
+    for pod in range(k):
+        agg = list(range(next_id, next_id + half))
+        next_id += half
+        edge = list(range(next_id, next_id + half))
+        next_id += half
+        for a in agg:
+            graph.add_node(a, layer="aggregation", pod=pod)
+        for e in edge:
+            graph.add_node(e, layer="edge", pod=pod)
+        for a_index, a in enumerate(agg):
+            for e in edge:
+                graph.add_edge(a, e)
+            # aggregation switch i connects to core row i
+            for j in range(half):
+                graph.add_edge(a, core_id[(a_index, j)])
+    return graph
+
+
+#: Named generator registry used by the scaling benchmarks: each entry maps
+#: a family name to ``generator(n, rng) -> Graph``.
+FAMILIES = {
+    "erdos-renyi": lambda n, rng: erdos_renyi(n, rng=rng),
+    "barabasi-albert": lambda n, rng: barabasi_albert(n, m=2, rng=rng),
+    "grid": lambda n, rng: grid(max(1, int(math.isqrt(n))), max(1, int(math.ceil(n / max(1, int(math.isqrt(n))))))),
+    "random-tree": lambda n, rng: random_tree(n, rng=rng),
+    "ring": lambda n, rng: ring(max(3, n)),
+    "waxman": lambda n, rng: waxman(n, rng=rng),
+}
+
+
+def max_degree(graph) -> int:
+    """``d = max_v deg(v)``, as used throughout the paper's bounds."""
+    return max((deg for _, deg in graph.degree()), default=0)

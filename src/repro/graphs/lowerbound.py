@@ -1,0 +1,218 @@
+"""The Fig. 2 lower-bound graph family (Theorems 4, 5 and 8).
+
+The construction, following Fraigniaud-Gavoille [2] as adapted in the
+paper: start with ``p >= 2`` center nodes ``c_i``, attach ``delta >= 2``
+intermediate nodes ``z_{i,j}`` to each center with edges of weight ``w_i``,
+and add target nodes ``t``, one per *word* of length ``p`` over the
+alphabet ``{1, ..., delta}``; target ``t`` with word ``a`` is connected to
+``z_{i, a_i}`` for every ``i``, again with weight ``w_i``.
+
+Varying the word assigned to each target yields a family of
+``delta^(p * |T|)`` distinct graphs; encoding the preferred (min-hop) paths
+from the centers distinguishes ``delta^|T|`` local forwarding functions at
+each center, hence ``Omega(|T| log delta) = Omega(n log delta)`` bits
+(Theorem 4).  Crucially, any *stretch-k* scheme must encode the very same
+paths, because condition (1) makes every non-preferred path worse than
+stretch k.
+
+Two variants are provided:
+
+* :func:`fig2_instance` — the undirected, abstract-weighted graph used by
+  Theorem 4 (weights ``w_1..w_p`` supplied by the caller);
+* :func:`fig2_bgp_instance` — the directed provider-customer labelling of
+  Theorem 5 (all construction arcs are ``c`` downhill from the centers),
+  optionally peer-augmented per Theorem 8 so that A1 holds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.algebra.bgp import CUSTOMER, PEER, PROVIDER
+from repro.exceptions import GraphError
+from repro.graphs.weighting import WEIGHT_ATTR
+
+Word = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Fig2Instance:
+    """One member of the Fig. 2 family.
+
+    ``centers[i]`` is ``c_i``; ``intermediates[i][j]`` is ``z_{i, j+1}``;
+    ``words`` maps each target node to its word (1-based symbols, as in the
+    paper's caption ``[1,1], [1,2], ...``).
+    """
+
+    graph: nx.Graph
+    p: int
+    delta: int
+    centers: Tuple[int, ...]
+    intermediates: Tuple[Tuple[int, ...], ...]
+    words: Dict[int, Word] = field(default_factory=dict)
+
+    @property
+    def targets(self) -> Tuple[int, ...]:
+        return tuple(self.words)
+
+    @property
+    def n(self) -> int:
+        return self.graph.number_of_nodes()
+
+
+def all_words(p: int, delta: int):
+    """All delta^p words of length *p* over the alphabet ``{1..delta}``."""
+    return itertools.product(range(1, delta + 1), repeat=p)
+
+
+def _validate(p: int, delta: int, words: Sequence[Word]):
+    if p < 2:
+        raise GraphError("the Fig. 2 construction needs p >= 2 centers")
+    if delta < 2:
+        raise GraphError("the Fig. 2 construction needs delta >= 2")
+    for word in words:
+        if len(word) != p or not all(1 <= s <= delta for s in word):
+            raise GraphError(f"word {word!r} is not a length-{p} word over 1..{delta}")
+
+
+def fig2_instance(p: int, delta: int, weights: Sequence, words: Optional[Sequence[Word]] = None,
+                  attr: str = WEIGHT_ATTR) -> Fig2Instance:
+    """Build the undirected Fig. 2 graph for the given target *words*.
+
+    *weights* is the length-``p`` sequence ``[w_1, ..., w_p]`` labelling all
+    edges incident to center ``c_i``'s branch.  *words* defaults to all
+    ``delta^p`` words (the fully populated instance drawn in Fig. 2).
+    """
+    if words is None:
+        words = list(all_words(p, delta))
+    else:
+        words = [tuple(w) for w in words]
+    _validate(p, delta, words)
+    if len(weights) != p:
+        raise GraphError(f"need exactly p={p} weights, got {len(weights)}")
+
+    graph = nx.Graph()
+    centers = tuple(range(p))
+    intermediates = tuple(
+        tuple(p + i * delta + j for j in range(delta)) for i in range(p)
+    )
+    for i in range(p):
+        for j in range(delta):
+            graph.add_edge(centers[i], intermediates[i][j], **{attr: weights[i]})
+    first_target = p + p * delta
+    word_of: Dict[int, Word] = {}
+    for index, word in enumerate(words):
+        t = first_target + index
+        word_of[t] = word
+        for i, symbol in enumerate(word):
+            graph.add_edge(intermediates[i][symbol - 1], t, **{attr: weights[i]})
+    return Fig2Instance(graph, p, delta, centers, intermediates, word_of)
+
+
+def fig2_family(p: int, delta: int, weights: Sequence, num_targets: int,
+                attr: str = WEIGHT_ATTR):
+    """Iterate over every member of the family with *num_targets* targets.
+
+    Yields ``delta^(p * num_targets)`` instances — all assignments of words
+    to the fixed target set.  Keep the parameters tiny; the point of the
+    enumeration is the information-theoretic counting of
+    :mod:`repro.lowerbounds.counting`.
+    """
+    vocabulary = list(all_words(p, delta))
+    for assignment in itertools.product(vocabulary, repeat=num_targets):
+        yield fig2_instance(p, delta, weights, words=assignment, attr=attr)
+
+
+def fig2_bgp_instance(p: int, delta: int, words: Optional[Sequence[Word]] = None,
+                      peer_augment: bool = False, attr: str = WEIGHT_ATTR) -> Fig2Instance:
+    """The Theorem 5 / Theorem 8 directed labelling of the Fig. 2 graph.
+
+    Every construction edge is directed *down* from the centers: arcs
+    ``c_i -> z_{i,j}`` and ``z_{i,j} -> t`` carry label ``c`` (customer) and
+    their reverses carry ``p`` (provider).  Preferred paths from centers to
+    targets then have weight ``c`` while every alternative path climbs a
+    provider arc after a customer arc and is untraversable (``phi``).
+
+    With ``peer_augment=True``, a peer (``r``) arc pair is added between
+    every node pair with no traversable path, exactly as in the Theorem 8
+    proof, making assumption A1 hold while preferred paths stay the same
+    two-hop customer paths.
+    """
+    if words is None:
+        words = list(all_words(p, delta))
+    else:
+        words = [tuple(w) for w in words]
+    _validate(p, delta, words)
+
+    digraph = nx.DiGraph()
+    centers = tuple(range(p))
+    intermediates = tuple(
+        tuple(p + i * delta + j for j in range(delta)) for i in range(p)
+    )
+
+    def add_customer_arc(u, v):
+        digraph.add_edge(u, v, **{attr: CUSTOMER})
+        digraph.add_edge(v, u, **{attr: PROVIDER})
+
+    for i in range(p):
+        for j in range(delta):
+            add_customer_arc(centers[i], intermediates[i][j])
+    first_target = p + p * delta
+    word_of: Dict[int, Word] = {}
+    for index, word in enumerate(words):
+        t = first_target + index
+        word_of[t] = word
+        for i, symbol in enumerate(word):
+            add_customer_arc(intermediates[i][symbol - 1], t)
+
+    instance = Fig2Instance(digraph, p, delta, centers, intermediates, word_of)
+    if peer_augment:
+        _peer_augment(instance, attr)
+    return instance
+
+
+def _peer_augment(instance: Fig2Instance, attr: str):
+    """Add ``r`` arcs between node pairs with no traversable B2 path.
+
+    Traversable label sequences are ``p* (r|eps) c*``; before augmentation
+    there are no ``r`` arcs, so reachability means "climb providers, then
+    descend customers".  The peer arcs make the graph satisfy A1 without
+    ever improving on an existing customer path (Theorem 8's preference is
+    ``c ≺ r``).
+    """
+    digraph = instance.graph
+    up = {
+        node: _closure(digraph, node, PROVIDER, attr) for node in digraph.nodes()
+    }
+    down = {
+        node: _closure(digraph, node, CUSTOMER, attr) for node in digraph.nodes()
+    }
+    nodes = sorted(digraph.nodes())
+    for u in nodes:
+        for v in nodes:
+            if u >= v:
+                continue
+            # u reaches v iff some x with u ->p* x and x ->c* v exists; the
+            # reverse direction is symmetric because reversing a p*c* path
+            # yields another p*c* path.
+            reachable = any(v in down[x] for x in up[u] | {u})
+            if not reachable:
+                digraph.add_edge(u, v, **{attr: PEER})
+                digraph.add_edge(v, u, **{attr: PEER})
+
+
+def _closure(digraph, node, label, attr):
+    """Nodes reachable from *node* using only arcs with the given label."""
+    seen = {node}
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        for _, nxt, data in digraph.out_edges(current, data=True):
+            if data[attr] == label and nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen - {node}

@@ -1,0 +1,46 @@
+"""Random edge weighting of graphs for a given routing algebra.
+
+Keeps graph structure and weight assignment orthogonal: any generator from
+:mod:`repro.graphs.generators` can be weighted for any Section 2 algebra.
+BGP algebras label *arcs* instead and have their own generator
+(:mod:`repro.graphs.bgp_topologies`).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algebra.base import RoutingAlgebra
+
+#: Default edge attribute holding the algebra weight.
+WEIGHT_ATTR = "weight"
+
+
+def assign_random_weights(graph, algebra: RoutingAlgebra, rng=None, attr: str = WEIGHT_ATTR):
+    """Assign each edge of *graph* a weight sampled from *algebra* (in place).
+
+    Returns *graph* for chaining.
+    """
+    if rng is None:
+        rng = random.Random(0)
+    edges = list(graph.edges())
+    weights = algebra.sample_weights(rng, len(edges))
+    for (u, v), w in zip(edges, weights):
+        graph[u][v][attr] = w
+    return graph
+
+
+def assign_uniform_weight(graph, weight, attr: str = WEIGHT_ATTR):
+    """Assign the same *weight* to every edge (in place); returns *graph*.
+
+    With the shortest-path algebra and weight 1 this yields min-hop routing.
+    """
+    for u, v in graph.edges():
+        graph[u][v][attr] = weight
+    return graph
+
+
+def weighted_graph(generator, algebra: RoutingAlgebra, rng=None, attr: str = WEIGHT_ATTR, **kwargs):
+    """Generate a topology with *generator(**kwargs)* and weight it for *algebra*."""
+    graph = generator(**kwargs)
+    return assign_random_weights(graph, algebra, rng=rng, attr=attr)

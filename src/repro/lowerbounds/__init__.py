@@ -1,0 +1,28 @@
+"""Incompressibility machinery: forwarding-function counting on the Fig. 2
+family and the Theorem 4 condition (1) witnesses."""
+
+from repro.lowerbounds.counting import (
+    CountingResult,
+    ForcingResult,
+    center_forwarding_map,
+    count_distinct_center_maps,
+    verify_preferred_paths_forced,
+)
+from repro.lowerbounds.theorem4 import (
+    Condition1Result,
+    find_condition1_weights,
+    satisfies_condition1,
+    shortest_widest_condition1_weights,
+)
+
+__all__ = [
+    "CountingResult",
+    "ForcingResult",
+    "center_forwarding_map",
+    "count_distinct_center_maps",
+    "verify_preferred_paths_forced",
+    "Condition1Result",
+    "find_condition1_weights",
+    "satisfies_condition1",
+    "shortest_widest_condition1_weights",
+]

@@ -1,0 +1,159 @@
+"""Information-theoretic forwarding-function counting (Theorems 4, 5, 8).
+
+The paper's incompressibility proofs follow Fraigniaud-Gavoille: over the
+Fig. 2 graph family, the local forwarding function at a center node must
+distinguish ``delta^|T|`` possibilities — one per assignment of a word to
+each target — so *some* node needs ``|T| * log2(delta) = Omega(n log delta)``
+bits, *regardless of the scheme*, as long as the scheme is forced to route
+on the exact preferred (min-hop) paths.  Condition (1) (or valley-freedom
+in the BGP variants) provides exactly that forcing: every non-preferred
+path already exceeds stretch ``k``.
+
+This module makes the counting argument concrete and checkable:
+
+* :func:`center_forwarding_map` — the forced forwarding function at a
+  center (one port per target);
+* :func:`count_distinct_center_maps` — enumerate the family, collect the
+  distinct forced functions, and compare ``log2(count)`` to the predicted
+  ``|T| log2(delta)`` bits;
+* :func:`verify_preferred_paths_forced` — certify, by exhaustive path
+  enumeration, that on a given instance *every* center→target path other
+  than the preferred two-hop one violates the stretch-k bound, so the
+  forced-function premise really holds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.algebra.base import RoutingAlgebra, is_phi
+from repro.graphs.lowerbound import Fig2Instance, fig2_family
+from repro.graphs.weighting import WEIGHT_ATTR
+from repro.paths.enumerate import _simple_paths
+from repro.routing.model import PortMap
+
+
+def center_forwarding_map(instance: Fig2Instance, center_index: int) -> Tuple[int, ...]:
+    """The forced forwarding function at center ``c_i``, as a port tuple.
+
+    The preferred (min-hop) path from ``c_i`` to target ``t`` with word
+    ``a`` leaves on the port toward ``z_{i, a_i}``; the returned tuple
+    lists that port for each target in id order.
+    """
+    ports = PortMap(instance.graph)
+    center = instance.centers[center_index]
+    out = []
+    for target in sorted(instance.words):
+        symbol = instance.words[target][center_index]
+        z = instance.intermediates[center_index][symbol - 1]
+        out.append(ports.port(center, z))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class CountingResult:
+    """Outcome of enumerating the family and counting forced functions."""
+
+    p: int
+    delta: int
+    num_targets: int
+    family_size: int
+    distinct_maps_per_center: Dict[int, int]
+    predicted_distinct: int
+
+    @property
+    def measured_bits(self) -> float:
+        """``log2`` of the largest per-center count: a memory lower bound."""
+        return math.log2(max(self.distinct_maps_per_center.values()))
+
+    @property
+    def predicted_bits(self) -> float:
+        """The paper's ``|T| * log2(delta)`` bound."""
+        return self.num_targets * math.log2(self.delta)
+
+    def summary(self) -> str:
+        return (
+            f"Fig.2 family p={self.p} delta={self.delta} |T|={self.num_targets}: "
+            f"{self.family_size} graphs, {max(self.distinct_maps_per_center.values())} "
+            f"distinct forwarding functions per center = {self.measured_bits:.1f} bits "
+            f"(predicted {self.predicted_bits:.1f})"
+        )
+
+
+def count_distinct_center_maps(p: int, delta: int, weights, num_targets: int,
+                               attr: str = WEIGHT_ATTR) -> CountingResult:
+    """Enumerate all ``delta^(p*|T|)`` instances; count forced functions.
+
+    Keep parameters tiny (the family is exponential): ``p=2, delta=2,
+    num_targets<=5`` already exhibits the ``delta^|T|`` distinct functions.
+    """
+    seen: Dict[int, set] = {i: set() for i in range(p)}
+    family_size = 0
+    for instance in fig2_family(p, delta, weights, num_targets, attr=attr):
+        family_size += 1
+        for i in range(p):
+            seen[i].add(center_forwarding_map(instance, i))
+    return CountingResult(
+        p=p,
+        delta=delta,
+        num_targets=num_targets,
+        family_size=family_size,
+        distinct_maps_per_center={i: len(maps) for i, maps in seen.items()},
+        predicted_distinct=delta**num_targets,
+    )
+
+
+@dataclass(frozen=True)
+class ForcingResult:
+    """Did every non-preferred center→target path violate stretch k?"""
+
+    checked_pairs: int
+    forced_pairs: int
+    counterexample: Optional[Tuple] = None
+
+    @property
+    def all_forced(self) -> bool:
+        return self.checked_pairs == self.forced_pairs
+
+
+def verify_preferred_paths_forced(instance: Fig2Instance, algebra: RoutingAlgebra,
+                                  k: int, attr: str = WEIGHT_ATTR) -> ForcingResult:
+    """Certify the Theorem 4/5/8 forcing premise on one instance.
+
+    For every (center, target) pair: the preferred path must be the
+    two-hop ``c_i - z - t`` path, and every other simple path's weight must
+    *not* satisfy ``w(path) ⪯ w(p*)^k`` — hence any stretch-k scheme must
+    route exactly on the preferred paths, and the counting argument of
+    :func:`count_distinct_center_maps` applies to it verbatim.
+    """
+    graph = instance.graph
+    checked = forced = 0
+    counterexample = None
+    for i, center in enumerate(instance.centers):
+        for target in sorted(instance.words):
+            checked += 1
+            symbol = instance.words[target][i]
+            z = instance.intermediates[i][symbol - 1]
+            preferred = algebra.path_weight(graph, [center, z, target], attr=attr)
+            if is_phi(preferred):
+                counterexample = (center, target, "preferred path untraversable")
+                continue
+            bound = algebra.power(preferred, k)
+            ok = True
+            for path in _simple_paths(graph, center, target):
+                if path == [center, z, target]:
+                    continue
+                w = algebra.path_weight(graph, path, attr=attr)
+                if algebra.leq(w, preferred):
+                    ok = False
+                    counterexample = (center, target, tuple(path), "beats preferred")
+                    break
+                if algebra.leq(w, bound):
+                    ok = False
+                    counterexample = (center, target, tuple(path), f"within stretch {k}")
+                    break
+            if ok:
+                forced += 1
+    return ForcingResult(checked, forced, counterexample)

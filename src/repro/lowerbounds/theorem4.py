@@ -1,0 +1,100 @@
+"""Theorem 4 condition (1) witnesses.
+
+Theorem 4: if a monotone algebra contains, for every ``p >= 2``, weights
+``w_1..w_p`` with
+
+    ``w_i ⊕ w_j ≻ w_i^(2k)``  and  ``w_i ⊕ w_j ≻ w_j^(2k)``   (i != j)   (1)
+
+then no stretch-k compact routing scheme with sublinear memory exists.
+Condition (1) is an extreme failure of isotonicity (for ``k >= 2``); the
+paper exhibits witnesses for:
+
+* **shortest-widest path** (Section 4.2): ``w_i = (b_i, c_i)`` with
+  ``b_i = i`` and ``c_i = (2k)^(i-1)``;
+* **B1 / B3** (Theorems 5, 8): realized on the directed Fig. 2 instances,
+  where every non-preferred path composes to ``phi`` (or ``r``), which
+  dominates ``c^k = c``.
+
+This module checks condition (1) for arbitrary weight families and
+constructs the Section 4.2 shortest-widest witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algebra.base import RoutingAlgebra, Weight
+from repro.exceptions import AlgebraError
+
+
+@dataclass(frozen=True)
+class Condition1Result:
+    """Outcome of checking (1) for a weight family at stretch k."""
+
+    k: int
+    weights: Tuple
+    holds: bool
+    witness: Optional[Tuple] = None  # offending (w_i, w_j) on failure
+
+
+def satisfies_condition1(algebra: RoutingAlgebra, weights: Sequence[Weight], k: int
+                         ) -> Condition1Result:
+    """Check ``w_i ⊕ w_j ≻ w_i^(2k)`` and ``≻ w_j^(2k)`` for all i != j."""
+    if k < 1:
+        raise AlgebraError(f"stretch k must be >= 1, got {k}")
+    if len(weights) < 2:
+        raise AlgebraError("condition (1) needs at least p = 2 weights")
+    weights = tuple(weights)
+    for i, wi in enumerate(weights):
+        for j, wj in enumerate(weights):
+            if i == j:
+                continue
+            combined = algebra.combine(wi, wj)
+            for w in (wi, wj):
+                bound = algebra.power(w, 2 * k)
+                # "≻" means strictly less preferred than the bound.
+                if not algebra.lt(bound, combined):
+                    return Condition1Result(k, weights, False, witness=(wi, wj))
+    return Condition1Result(k, weights, True)
+
+
+def shortest_widest_condition1_weights(p: int, k: int) -> List[Tuple[int, int]]:
+    """The Section 4.2 witness for SW: ``w_i = (i, (2k)^(i-1))``.
+
+    For ``i < j``: capacities give ``(b_i, c_i) ⊕ (b_j, c_j) = (b_i,
+    c_i + c_j)``; against ``w_j^(2k)`` the smaller capacity ``b_i < b_j``
+    already loses, and against ``w_i^(2k) = (b_i, 2k c_i)`` the cost
+    ``c_i + c_j > 2k c_i`` loses (since ``c_j >= 2k c_i``).
+    """
+    if p < 2:
+        raise AlgebraError("need p >= 2 weights")
+    if k < 1:
+        raise AlgebraError("stretch k must be >= 1")
+    return [(i, (2 * k) ** (i - 1)) for i in range(1, p + 1)]
+
+
+def find_condition1_weights(algebra: RoutingAlgebra, k: int, p: int = 2,
+                            rng=None, attempts: int = 200,
+                            pool_size: int = 24) -> Optional[Tuple]:
+    """Randomized search for a condition (1) family inside *algebra*.
+
+    Returns a witness tuple or None.  A None is *not* a proof of absence —
+    for regular algebras with ``k >= 2`` condition (1) is impossible
+    (it contradicts isotonicity), which the tests verify on the catalog.
+    """
+    import itertools
+    import random as _random
+
+    rng = rng or _random.Random(0)
+    pool = algebra.sample_weights(rng, pool_size)
+    seen = set()
+    unique_pool = [w for w in pool if not (w in seen or seen.add(w))]
+    count = 0
+    for combo in itertools.combinations(unique_pool, p):
+        count += 1
+        if count > attempts:
+            break
+        if satisfies_condition1(algebra, combo, k).holds:
+            return tuple(combo)
+    return None

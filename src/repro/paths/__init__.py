@@ -1,0 +1,57 @@
+"""Preferred-path engines: generalized Dijkstra, BGP automaton, SW solver,
+exhaustive enumeration, and the Lemma 1 spanning tree."""
+
+from repro.paths.dijkstra import (
+    PathTree,
+    all_pairs_preferred_weights,
+    preferred_path_tree,
+)
+from repro.paths.enumerate import (
+    PreferredPath,
+    all_preferred_by_enumeration,
+    preferred_by_enumeration,
+    preferred_weight_matrix,
+)
+from repro.paths.kpaths import k_preferred_paths, preferred_tie_set
+from repro.paths.shortest_widest import (
+    SWRoute,
+    all_pairs_shortest_widest,
+    shortest_widest_routes,
+    widest_bottlenecks,
+)
+from repro.paths.spanning_tree import (
+    DisjointSet,
+    maps_to_tree,
+    preferred_spanning_tree,
+    tree_path,
+)
+from repro.paths.valley_free import (
+    BGPRoute,
+    all_pairs_bgp_routes,
+    bgp_routes,
+    valley_free_reachable_sets,
+)
+
+__all__ = [
+    "PathTree",
+    "all_pairs_preferred_weights",
+    "preferred_path_tree",
+    "PreferredPath",
+    "all_preferred_by_enumeration",
+    "preferred_by_enumeration",
+    "preferred_weight_matrix",
+    "k_preferred_paths",
+    "preferred_tie_set",
+    "SWRoute",
+    "all_pairs_shortest_widest",
+    "shortest_widest_routes",
+    "widest_bottlenecks",
+    "DisjointSet",
+    "maps_to_tree",
+    "preferred_spanning_tree",
+    "tree_path",
+    "BGPRoute",
+    "all_pairs_bgp_routes",
+    "bgp_routes",
+    "valley_free_reachable_sets",
+]

@@ -1,0 +1,152 @@
+"""Generalized Dijkstra for regular routing algebras (Section 2.4).
+
+For monotone and isotone (= regular, Definition 1) algebras the preferred
+paths emanating from a node form a tree and can be computed in polynomial
+time by a generalization of Dijkstra's algorithm [Sobrinho 2002]: the
+priority queue orders tentative path weights by the algebra's ⪯ instead of
+numeric <.
+
+Monotonicity plays the role of non-negative edge weights (extending a path
+never improves it) and isotonicity guarantees that settled labels are
+final.  The implementation refuses algebras *declared* non-isotone unless
+``unsafe=True``; for undeclared algebras it proceeds (callers can validate
+results against :mod:`repro.paths.enumerate` on small instances).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.algebra.base import PHI, RoutingAlgebra, Weight, is_phi
+from repro.exceptions import AlgebraError
+from repro.graphs.weighting import WEIGHT_ATTR
+
+
+@dataclass(frozen=True)
+class PathTree:
+    """Preferred paths from *root* to every reachable node.
+
+    ``weight[v]`` is the preferred path weight (absent if unreachable;
+    ``weight[root]`` is absent too, since the empty path has no weight in a
+    semigroup), ``parent[v]`` is the penultimate node on the preferred
+    root→v path.
+    """
+
+    root: object
+    weight: Dict[object, Weight]
+    parent: Dict[object, object]
+
+    def path_to(self, target) -> Optional[list]:
+        """The preferred root→target node sequence, or None if unreachable."""
+        if target == self.root:
+            return [self.root]
+        if target not in self.parent:
+            return None
+        path = [target]
+        while path[-1] != self.root:
+            path.append(self.parent[path[-1]])
+        path.reverse()
+        return path
+
+    def reachable(self):
+        """Nodes with a traversable preferred path from the root."""
+        return set(self.weight)
+
+
+class _HeapEntry:
+    """Adapter giving heapq a strict order over algebra weights.
+
+    Ties in ⪯ break on the insertion counter, keeping the pop order
+    deterministic.
+    """
+
+    __slots__ = ("weight", "counter", "node", "algebra")
+
+    def __init__(self, algebra, weight, counter, node):
+        self.algebra = algebra
+        self.weight = weight
+        self.counter = counter
+        self.node = node
+
+    def __lt__(self, other):
+        if self.algebra.lt(self.weight, other.weight):
+            return True
+        if self.algebra.lt(other.weight, self.weight):
+            return False
+        return self.counter < other.counter
+
+
+def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT_ATTR,
+                        unsafe: bool = False) -> PathTree:
+    """Run generalized Dijkstra from *root*; returns a :class:`PathTree`.
+
+    Works on undirected graphs (and digraphs, following out-edges).  For
+    right-associative algebras use :mod:`repro.paths.valley_free` instead —
+    path-vector composition does not grow from the source side.
+    """
+    if algebra.is_right_associative:
+        raise AlgebraError(
+            f"{algebra.name} is right-associative; use the valley-free path engine"
+        )
+    declared = algebra.declared_properties()
+    if not unsafe and (declared.monotone is False or declared.isotone is False):
+        raise AlgebraError(
+            f"generalized Dijkstra requires a regular algebra; {algebra.name} declares "
+            f"monotone={declared.monotone}, isotone={declared.isotone} "
+            f"(pass unsafe=True to force)"
+        )
+    if root not in graph:
+        raise AlgebraError(f"root {root!r} not in graph")
+
+    neighbors = graph.neighbors if not graph.is_directed() else graph.successors
+    weight: Dict[object, Weight] = {}
+    parent: Dict[object, object] = {}
+    settled = set()
+    counter = itertools.count()
+    heap = []
+
+    # Seed with the root's incident edges: the empty path has no weight
+    # (semigroups lack an identity), so distances start at one edge.
+    settled.add(root)
+    for v in neighbors(root):
+        w = graph[root][v][attr]
+        if is_phi(w):
+            continue
+        if v not in weight or algebra.lt(w, weight[v]):
+            weight[v] = w
+            parent[v] = root
+            heapq.heappush(heap, _HeapEntry(algebra, w, next(counter), v))
+
+    while heap:
+        entry = heapq.heappop(heap)
+        u = entry.node
+        if u in settled or not algebra.eq(entry.weight, weight.get(u, PHI)):
+            continue
+        settled.add(u)
+        for v in neighbors(u):
+            if v in settled:
+                continue
+            edge_weight = graph[u][v][attr]
+            if is_phi(edge_weight):
+                continue
+            candidate = algebra.combine(weight[u], edge_weight)
+            if is_phi(candidate):
+                continue
+            if v not in weight or algebra.lt(candidate, weight[v]):
+                weight[v] = candidate
+                parent[v] = u
+                heapq.heappush(heap, _HeapEntry(algebra, candidate, next(counter), v))
+
+    return PathTree(root, weight, parent)
+
+
+def all_pairs_preferred_weights(graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
+                                unsafe: bool = False) -> Dict[object, PathTree]:
+    """Preferred path trees from every node (n runs of generalized Dijkstra)."""
+    return {
+        node: preferred_path_tree(graph, algebra, node, attr=attr, unsafe=unsafe)
+        for node in graph.nodes()
+    }

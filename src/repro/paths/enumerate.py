@@ -1,0 +1,103 @@
+"""Exhaustive preferred-path computation: the ground truth oracle.
+
+The routing-algebra definition of a policy — ``Pol(P_st)`` selects a
+⪯-least path from the set of all s-t paths — is directly executable by
+enumerating simple paths.  Exponential, so only for small instances, where
+it serves as the reference against which every faster engine (generalized
+Dijkstra, the valley-free automaton, the shortest-widest solver) and every
+routing scheme is validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.base import PHI, RoutingAlgebra, Weight, is_phi
+from repro.graphs.weighting import WEIGHT_ATTR
+
+
+@dataclass(frozen=True)
+class PreferredPath:
+    """A preferred s-t path and its weight."""
+
+    source: object
+    target: object
+    weight: Weight
+    path: Tuple
+
+
+def _simple_paths(graph, source, target, cutoff=None):
+    """Yield all simple source→target paths (DFS; respects direction)."""
+    if source == target:
+        return
+    successors = graph.neighbors if not graph.is_directed() else graph.successors
+    stack: List[Tuple[object, List[object]]] = [(source, [source])]
+    while stack:
+        node, path = stack.pop()
+        for nxt in successors(node):
+            if nxt in path:
+                continue
+            # cutoff bounds the path length in nodes (paper's walk length k)
+            if cutoff is not None and len(path) + 1 > cutoff:
+                continue
+            if nxt == target:
+                yield path + [nxt]
+            else:
+                stack.append((nxt, path + [nxt]))
+
+
+def preferred_by_enumeration(graph, algebra: RoutingAlgebra, source, target,
+                             attr: str = WEIGHT_ATTR, cutoff: Optional[int] = None
+                             ) -> Optional[PreferredPath]:
+    """The ⪯-least simple source→target path, or None if none is traversable.
+
+    Deterministic tie-breaking: among equally preferred paths the
+    lexicographically least node sequence wins, so repeated runs and
+    cross-engine comparisons are stable.
+    """
+    best_weight = PHI
+    best_path = None
+    for path in _simple_paths(graph, source, target, cutoff=cutoff):
+        w = algebra.path_weight(graph, path, attr=attr)
+        if is_phi(w):
+            continue
+        if best_path is None or algebra.lt(w, best_weight) or (
+            algebra.eq(w, best_weight) and tuple(path) < tuple(best_path)
+        ):
+            best_weight = w
+            best_path = path
+    if best_path is None:
+        return None
+    return PreferredPath(source, target, best_weight, tuple(best_path))
+
+
+def all_preferred_by_enumeration(graph, algebra: RoutingAlgebra, source, target,
+                                 attr: str = WEIGHT_ATTR, cutoff: Optional[int] = None
+                                 ) -> List[PreferredPath]:
+    """Every ⪯-least simple source→target path (the full tie set)."""
+    best_weight = PHI
+    candidates: List[PreferredPath] = []
+    for path in _simple_paths(graph, source, target, cutoff=cutoff):
+        w = algebra.path_weight(graph, path, attr=attr)
+        if is_phi(w):
+            continue
+        if not candidates or algebra.lt(w, best_weight):
+            best_weight = w
+            candidates = [PreferredPath(source, target, w, tuple(path))]
+        elif algebra.eq(w, best_weight):
+            candidates.append(PreferredPath(source, target, w, tuple(path)))
+    return sorted(candidates, key=lambda item: item.path)
+
+
+def preferred_weight_matrix(graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
+                            cutoff: Optional[int] = None) -> Dict[Tuple, Weight]:
+    """Preferred weights for every ordered pair (PHI when unreachable)."""
+    matrix: Dict[Tuple, Weight] = {}
+    for s in graph.nodes():
+        for t in graph.nodes():
+            if s == t:
+                continue
+            found = preferred_by_enumeration(graph, algebra, s, t, attr=attr, cutoff=cutoff)
+            matrix[(s, t)] = found.weight if found else PHI
+    return matrix

@@ -1,0 +1,137 @@
+"""k preferred paths: a generalized Yen's algorithm for regular algebras.
+
+The policy definition lets ``Pol`` return *any* ⪯-least path when several
+tie; analyzing that tie set — and the near-preferred paths behind it —
+needs a k-best enumeration.  Yen's algorithm generalizes verbatim once
+"shortest" means ⪯-least: the spur computations are generalized-Dijkstra
+runs on pruned graphs, which is exactly where regularity (Definition 1)
+earns its keep again.
+
+Loopless paths are returned in non-decreasing ⪯ order.  The *weight*
+sequence is exact (the i-th returned weight is the i-th best weight);
+among equal-weight paths the identity depends on generalized Dijkstra's
+internal tie-breaking, so it is deterministic but not necessarily the
+hop-count-least representative.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.algebra.base import RoutingAlgebra, is_phi
+from repro.exceptions import AlgebraError
+from repro.graphs.weighting import WEIGHT_ATTR
+from repro.paths.dijkstra import preferred_path_tree
+from repro.paths.enumerate import PreferredPath
+
+
+def _shortest_path(graph, algebra, source, target, attr):
+    """Preferred source→target path via generalized Dijkstra (or None)."""
+    tree = preferred_path_tree(graph, algebra, source, attr=attr)
+    path = tree.path_to(target)
+    if path is None:
+        return None
+    return tuple(path), tree.weight[target]
+
+
+class _Candidate:
+    """Heap adapter ordering candidate paths by (⪯, hops, lexicographic)."""
+
+    __slots__ = ("weight", "path", "algebra", "key")
+
+    def __init__(self, algebra, weight, path):
+        self.algebra = algebra
+        self.weight = weight
+        self.path = path
+        self.key = (algebra.comparison_key()(weight), len(path), path)
+
+    def __lt__(self, other):
+        return self.key < other.key
+
+
+def k_preferred_paths(graph, algebra: RoutingAlgebra, source, target, k: int,
+                      attr: str = WEIGHT_ATTR) -> List[PreferredPath]:
+    """The ``k`` ⪯-least loopless source→target paths (may return fewer).
+
+    Requires a regular algebra on an undirected graph (the generalized-
+    Dijkstra subroutine's preconditions).
+    """
+    if k < 1:
+        raise AlgebraError(f"k must be >= 1, got {k}")
+    if source == target:
+        raise AlgebraError("source and target must differ")
+    declared = algebra.declared_properties()
+    if declared.monotone is False or declared.isotone is False:
+        raise AlgebraError(
+            f"k_preferred_paths requires a regular algebra; {algebra.name} is not"
+        )
+
+    first = _shortest_path(graph, algebra, source, target, attr)
+    if first is None:
+        return []
+    accepted: List[Tuple[Tuple, object]] = [first]
+    candidates: List[_Candidate] = []
+    seen_candidates = {first[0]}
+
+    while len(accepted) < k:
+        prev_path = accepted[-1][0]
+        for i in range(len(prev_path) - 1):
+            spur_node = prev_path[i]
+            root_path = prev_path[: i + 1]
+
+            pruned = graph.copy()
+            # remove the next edges of accepted paths sharing this root
+            for path, _ in accepted:
+                if len(path) > i and path[: i + 1] == root_path:
+                    if pruned.has_edge(path[i], path[i + 1]):
+                        pruned.remove_edge(path[i], path[i + 1])
+            # remove root nodes (except the spur) to keep paths loopless
+            for node in root_path[:-1]:
+                pruned.remove_node(node)
+
+            if spur_node not in pruned or target not in pruned:
+                continue
+            spur = _shortest_path(pruned, algebra, spur_node, target, attr)
+            if spur is None:
+                continue
+            spur_path, _ = spur
+            total_path = root_path[:-1] + spur_path
+            if total_path in seen_candidates:
+                continue
+            total_weight = algebra.path_weight(graph, list(total_path), attr=attr)
+            if is_phi(total_weight):
+                continue
+            seen_candidates.add(total_path)
+            heapq.heappush(
+                candidates, _Candidate(algebra, total_weight, total_path)
+            )
+        if not candidates:
+            break
+        best = heapq.heappop(candidates)
+        accepted.append((best.path, best.weight))
+
+    ordered = sorted(
+        accepted,
+        key=lambda item: (algebra.comparison_key()(item[1]), len(item[0]), item[0]),
+    )
+    return [
+        PreferredPath(source, target, weight, path) for path, weight in ordered
+    ]
+
+
+def preferred_tie_set(graph, algebra: RoutingAlgebra, source, target,
+                      attr: str = WEIGHT_ATTR, k_bound: int = 16
+                      ) -> List[PreferredPath]:
+    """All ⪯-least source→target paths found within the first *k_bound*.
+
+    A Yen-based alternative to exhaustive
+    :func:`~repro.paths.enumerate.all_preferred_by_enumeration`; exact
+    whenever the tie set has at most *k_bound* members.
+    """
+    paths = k_preferred_paths(graph, algebra, source, target, k_bound, attr=attr)
+    if not paths:
+        return []
+    best = paths[0].weight
+    return [p for p in paths if algebra.eq(p.weight, best)]

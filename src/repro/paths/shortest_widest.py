@@ -1,0 +1,117 @@
+"""Exact preferred paths for the shortest-widest policy ``SW = W x S``.
+
+Shortest-widest path routing is the paper's flagship *non-isotone* algebra
+(Table 1): generalized Dijkstra is not correct for it, and no per-
+destination routing table implements it (Proposition 2).  Preferred paths
+are still computable exactly per pair:
+
+1. the widest bottleneck ``b*(s,t)`` is a max-min Dijkstra;
+2. every s-t path using only edges of capacity >= ``b*(s,t)`` has
+   bottleneck exactly ``b*`` (it cannot exceed the optimum), so the
+   shortest path by cost in that subgraph is a preferred SW path.
+
+Edge weights are pairs ``(capacity, cost)`` — the weight domain of
+``shortest_widest_path()`` from :mod:`repro.algebra.lexicographic`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.graphs.weighting import WEIGHT_ATTR
+
+
+@dataclass(frozen=True)
+class SWRoute:
+    """A preferred shortest-widest route: widest bottleneck, then least cost."""
+
+    source: object
+    target: object
+    bottleneck: int
+    cost: int
+    path: Tuple
+
+    @property
+    def weight(self) -> Tuple[int, int]:
+        """The route's weight in the SW algebra: ``(bottleneck, cost)``."""
+        return (self.bottleneck, self.cost)
+
+
+def widest_bottlenecks(graph, source, attr: str = WEIGHT_ATTR) -> Dict[object, int]:
+    """Max-min Dijkstra: the widest achievable bottleneck to every node."""
+    best: Dict[object, int] = {}
+    heap = [(-(2**62), source)]
+    seen = set()
+    while heap:
+        negwidth, node = heapq.heappop(heap)
+        if node in seen:
+            continue
+        seen.add(node)
+        width = -negwidth
+        if node != source:
+            best[node] = width
+        for nxt in graph.neighbors(node):
+            if nxt in seen:
+                continue
+            capacity = graph[node][nxt][attr][0]
+            heapq.heappush(heap, (-min(width, capacity), nxt))
+    return best
+
+
+def _restricted_shortest(graph, source, min_capacity, attr) -> Tuple[Dict, Dict]:
+    """Cost Dijkstra from *source* over edges with capacity >= *min_capacity*."""
+    dist: Dict[object, int] = {source: 0}
+    parent: Dict[object, Optional[object]] = {source: None}
+    heap = [(0, source)]
+    settled = set()
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for nxt in graph.neighbors(node):
+            capacity, edge_cost = graph[node][nxt][attr]
+            if capacity < min_capacity:
+                continue
+            candidate = cost + edge_cost
+            if nxt not in dist or candidate < dist[nxt]:
+                dist[nxt] = candidate
+                parent[nxt] = node
+                heapq.heappush(heap, (candidate, nxt))
+    return dist, parent
+
+
+def shortest_widest_routes(graph, source, attr: str = WEIGHT_ATTR) -> Dict[object, SWRoute]:
+    """Preferred SW routes from *source* to every other node.
+
+    Runs one restricted cost-Dijkstra per distinct bottleneck value among
+    the destinations, so the total work is
+    O(#distinct bottlenecks * m log n).
+    """
+    bottleneck = widest_bottlenecks(graph, source, attr=attr)
+    routes: Dict[object, SWRoute] = {}
+    by_value: Dict[int, list] = {}
+    for node, value in bottleneck.items():
+        by_value.setdefault(value, []).append(node)
+    for value, nodes in by_value.items():
+        dist, parent = _restricted_shortest(graph, source, value, attr)
+        for node in nodes:
+            if node not in dist:
+                continue
+            path = [node]
+            while parent[path[-1]] is not None:
+                path.append(parent[path[-1]])
+            path.reverse()
+            routes[node] = SWRoute(source, node, value, dist[node], tuple(path))
+    return routes
+
+
+def all_pairs_shortest_widest(graph, attr: str = WEIGHT_ATTR
+                              ) -> Dict[object, Dict[object, SWRoute]]:
+    """Preferred SW routes between every ordered pair."""
+    return {
+        source: shortest_widest_routes(graph, source, attr=attr)
+        for source in graph.nodes()
+    }

@@ -1,0 +1,150 @@
+"""The Lemma 1 preferred spanning tree for selective + monotone algebras.
+
+If an algebra is monotone and selective, a "preferred" spanning tree exists
+whose unique in-tree s-t path is a preferred s-t path, for *every* pair —
+which is what makes Theorem 1's O(log n) tree-routing implementation
+possible.  The construction is Kruskal-like: take edges in non-decreasing
+⪯ order and add each edge that closes no cycle.
+
+(The same procedure on the widest-path algebra is the classical
+maximum-bottleneck spanning tree; on the usable-path algebra it is any
+spanning tree, which is precisely why Ethernet's Spanning Tree Protocol
+works — the paper's footnote 5.)
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.algebra.base import RoutingAlgebra, is_phi
+from repro.exceptions import NotApplicableError
+from repro.graphs.weighting import WEIGHT_ATTR
+
+
+class DisjointSet:
+    """Union-find with path compression and union by rank."""
+
+    def __init__(self, items):
+        self.parent = {item: item for item in items}
+        self.rank = {item: 0 for item in items}
+
+    def find(self, item):
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a, b) -> bool:
+        """Merge the sets of *a* and *b*; False if already joined."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return True
+
+
+def preferred_spanning_tree(graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
+                            check_properties: bool = True) -> nx.Graph:
+    """Build the Lemma 1 spanning tree of *graph* under *algebra*.
+
+    Requires a connected undirected graph and (when *check_properties*) an
+    algebra declared monotone and selective.  Edge ties break on the sorted
+    edge tuple, so the construction is deterministic.
+    """
+    if graph.is_directed():
+        raise NotApplicableError("the Lemma 1 construction works on undirected graphs")
+    if check_properties:
+        declared = algebra.declared_properties()
+        if declared.monotone is False or declared.selective is False:
+            raise NotApplicableError(
+                f"Lemma 1 requires a monotone and selective algebra; {algebra.name} "
+                f"declares monotone={declared.monotone}, selective={declared.selective}"
+            )
+    if not nx.is_connected(graph):
+        raise NotApplicableError("the graph must be connected to admit a spanning tree")
+
+    key = algebra.comparison_key()
+    edges = sorted(
+        ((u, v, data[attr]) for u, v, data in graph.edges(data=True)),
+        key=lambda item: (key(item[2]), tuple(sorted((item[0], item[1])))),
+    )
+    tree = nx.Graph()
+    tree.add_nodes_from(graph.nodes())
+    dsu = DisjointSet(graph.nodes())
+    for u, v, w in edges:
+        if is_phi(w):
+            continue
+        if dsu.union(u, v):
+            tree.add_edge(u, v, **{attr: w})
+        if tree.number_of_edges() == graph.number_of_nodes() - 1:
+            break
+    if tree.number_of_edges() != graph.number_of_nodes() - 1:
+        raise NotApplicableError("graph has no spanning tree of traversable edges")
+    return tree
+
+
+def tree_path(tree: nx.Graph, source, target) -> list:
+    """The unique source→target path in *tree* (BFS parent walk)."""
+    if source == target:
+        return [source]
+    parent = {source: None}
+    queue = [source]
+    while queue:
+        node = queue.pop(0)
+        if node == target:
+            break
+        for nxt in tree.neighbors(node):
+            if nxt not in parent:
+                parent[nxt] = node
+                queue.append(nxt)
+    if target not in parent:
+        raise NotApplicableError(f"{target!r} not connected to {source!r} in the tree")
+    path = [target]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def maps_to_tree(graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
+                 cutoff=None) -> bool:
+    """Check the *maps to a tree* property of Lemma 1 by brute force.
+
+    Returns True iff *some* spanning tree of *graph* contains a preferred
+    path for every node pair.  Exponential in general — meant for the small
+    Fig. 1 counterexamples; uses enumeration as the preferred-weight oracle.
+    """
+    from itertools import combinations
+
+    from repro.paths.enumerate import preferred_by_enumeration
+
+    nodes = list(graph.nodes())
+    best = {}
+    for s, t in combinations(nodes, 2):
+        found = preferred_by_enumeration(graph, algebra, s, t, attr=attr, cutoff=cutoff)
+        if found is not None:
+            best[(s, t)] = found.weight
+    edges = list(graph.edges())
+    n = len(nodes)
+    for tree_edges in combinations(edges, n - 1):
+        candidate = nx.Graph()
+        candidate.add_nodes_from(nodes)
+        for u, v in tree_edges:
+            candidate.add_edge(u, v, **{attr: graph[u][v][attr]})
+        if not nx.is_connected(candidate):
+            continue
+        if all(
+            algebra.eq(
+                algebra.path_weight(candidate, tree_path(candidate, s, t), attr=attr),
+                weight,
+            )
+            for (s, t), weight in best.items()
+        ):
+            return True
+    return False

@@ -1,0 +1,187 @@
+"""Preferred-path computation for the BGP algebras (Section 5).
+
+The Section 5 algebras are right-associative and table-driven, and their
+tables share a structural property: ``x ⊕ y ∈ {x, phi}`` — a traversable
+path's weight is simply the label of its *first* arc, and traversability is
+a local condition on consecutive arc labels (``table[l_i][l_{i+1}] != phi``).
+Under Table 3 this makes the traversable label sequences exactly
+``p* (r|eps) c*`` — the classical valley-free paths.
+
+That structure turns preferred-path computation into a search over the
+*label automaton*: states are ``(node, last-arc-label, first-arc-label)``
+and an arc with label ``b`` may extend a path whose last label is ``a`` iff
+``table[a][b] != phi``.  A Dijkstra over these states (by additive arc
+cost, default 1 per hop) yields, per destination, the best route under the
+preference "first-label rank, then cost" — which covers B1/B2 (all ranks
+equal; any traversable path is preferred), B3 (customer routes first) and
+B4 (= B3 refined by path length, with arc weights ``(label, cost)``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.algebra.base import is_phi
+from repro.algebra.bgp import BGPAlgebra, valley_free_algebra
+from repro.exceptions import AlgebraError
+from repro.graphs.weighting import WEIGHT_ATTR
+
+
+@dataclass(frozen=True)
+class BGPRoute:
+    """A preferred route in a BGP algebra.
+
+    ``label`` is the route's algebra weight (the first arc's label — the
+    path type), ``cost`` the additive cost (hop count under unit costs).
+    """
+
+    source: object
+    target: object
+    label: str
+    cost: int
+    path: Tuple
+
+
+def _check_prefix_stable(algebra: BGPAlgebra):
+    """Validate the ``x ⊕ y ∈ {x, phi}`` structure the automaton relies on."""
+    for x in algebra.labels:
+        for y in algebra.labels:
+            combined = algebra.table[(x, y)]
+            if not (is_phi(combined) or combined == x):
+                raise AlgebraError(
+                    f"{algebra.name} is not prefix-stable: {x!r} ⊕ {y!r} = {combined!r}"
+                )
+
+
+def _arc_label(data, attr):
+    weight = data[attr]
+    if isinstance(weight, tuple):
+        return weight[0]
+    return weight
+
+
+def _arc_cost(data, attr):
+    weight = data[attr]
+    if isinstance(weight, tuple):
+        return weight[1]
+    return 1
+
+
+def bgp_routes(digraph, algebra: BGPAlgebra, source, attr: str = WEIGHT_ATTR
+               ) -> Dict[object, BGPRoute]:
+    """Preferred routes from *source* to every reachable destination.
+
+    Preference order: the algebra's label rank first (B1/B2: all equal;
+    B3/B4: ``c ≺ r ≺ p``), then additive cost (the ``S`` component of B4;
+    a legal tie-break for B1-B3, where Pol may return any preferred path),
+    then the lexicographically least path for determinism.
+    """
+    _check_prefix_stable(algebra)
+    ranks = algebra.ranks
+    table = algebra.table
+
+    # state = (node, last_label, first_label)
+    dist: Dict[Tuple, int] = {}
+    parent: Dict[Tuple, Optional[Tuple]] = {}
+    heap = []
+    for _, v, data in digraph.out_edges(source, data=True):
+        label = _arc_label(data, attr)
+        if label not in algebra.labels:
+            continue  # arc type unknown to this policy: untraversable
+        cost = _arc_cost(data, attr)
+        state = (v, label, label)
+        if state not in dist or cost < dist[state]:
+            dist[state] = cost
+            parent[state] = None
+            heapq.heappush(heap, (cost, state))
+    settled = set()
+    while heap:
+        cost, state = heapq.heappop(heap)
+        if state in settled or cost > dist[state]:
+            continue
+        settled.add(state)
+        node, last, first = state
+        for _, nxt, data in digraph.out_edges(node, data=True):
+            label = _arc_label(data, attr)
+            if label not in algebra.labels or is_phi(table[(last, label)]):
+                continue
+            candidate = (nxt, label, first)
+            new_cost = cost + _arc_cost(data, attr)
+            if candidate not in dist or new_cost < dist[candidate]:
+                dist[candidate] = new_cost
+                parent[candidate] = state
+                heapq.heappush(heap, (new_cost, candidate))
+
+    routes: Dict[object, BGPRoute] = {}
+    for state, cost in dist.items():
+        node, _, first = state
+        if node == source:
+            continue
+        path = _reconstruct(source, state, parent)
+        current = routes.get(node)
+        if current is None or _route_key(ranks, first, cost, path) < _route_key(
+            ranks, current.label, current.cost, current.path
+        ):
+            routes[node] = BGPRoute(source, node, first, cost, path)
+    return routes
+
+
+def _route_key(ranks, label, cost, path):
+    return (ranks[label], cost, tuple(path))
+
+
+def _reconstruct(source, state, parent) -> Tuple:
+    nodes = [state[0]]
+    current = state
+    while parent[current] is not None:
+        current = parent[current]
+        nodes.append(current[0])
+    nodes.append(source)
+    nodes.reverse()
+    return tuple(nodes)
+
+
+def all_pairs_bgp_routes(digraph, algebra: BGPAlgebra, attr: str = WEIGHT_ATTR
+                         ) -> Dict[object, Dict[object, BGPRoute]]:
+    """Preferred routes between every ordered pair."""
+    return {
+        source: bgp_routes(digraph, algebra, source, attr=attr)
+        for source in digraph.nodes()
+    }
+
+
+def valley_free_reachable_sets(digraph, algebra: Optional[BGPAlgebra] = None,
+                               attr: str = WEIGHT_ATTR) -> Dict[object, set]:
+    """For each node, the set of nodes it reaches over traversable paths.
+
+    Defaults to the full valley-free algebra B2; B1-labelled graphs (no
+    peer arcs) behave identically under the restricted table.
+    """
+    algebra = algebra or valley_free_algebra()
+    _check_prefix_stable(algebra)
+    table = algebra.table
+    reachable: Dict[object, set] = {}
+    for source in digraph.nodes():
+        seen_states = set()
+        stack = []
+        for _, v, data in digraph.out_edges(source, data=True):
+            if _arc_label(data, attr) not in algebra.labels:
+                continue
+            state = (v, _arc_label(data, attr))
+            if state not in seen_states:
+                seen_states.add(state)
+                stack.append(state)
+        while stack:
+            node, last = stack.pop()
+            for _, nxt, data in digraph.out_edges(node, data=True):
+                label = _arc_label(data, attr)
+                if label not in algebra.labels or is_phi(table[(last, label)]):
+                    continue
+                state = (nxt, label)
+                if state not in seen_states:
+                    seen_states.add(state)
+                    stack.append(state)
+        reachable[source] = {node for node, _ in seen_states} - {source}
+    return reachable

@@ -1,0 +1,52 @@
+"""Distributed protocol simulations: path-vector, distance-vector,
+spanning tree election, and the dispute-wheel pathology."""
+
+from repro.protocols.distance_vector import (
+    DistanceVectorSimulation,
+    DVEntry,
+    DVReport,
+    suboptimality_report,
+)
+from repro.protocols.disputes import (
+    AROUND,
+    AROUND_THEN_DIRECT,
+    DIRECT,
+    DisputeWheelAlgebra,
+    bad_gadget,
+)
+from repro.protocols.link_state import LSA, LinkStateSimulation, LSReport
+from repro.protocols.path_vector import (
+    ORIGIN,
+    ConvergenceReport,
+    PathVectorSimulation,
+    Route,
+)
+from repro.protocols.spanning_tree import (
+    BPDU,
+    SpanningTreeProtocol,
+    STPReport,
+    stp_tree,
+)
+
+__all__ = [
+    "DistanceVectorSimulation",
+    "DVEntry",
+    "DVReport",
+    "suboptimality_report",
+    "AROUND",
+    "AROUND_THEN_DIRECT",
+    "DIRECT",
+    "DisputeWheelAlgebra",
+    "bad_gadget",
+    "LSA",
+    "LinkStateSimulation",
+    "LSReport",
+    "ORIGIN",
+    "ConvergenceReport",
+    "PathVectorSimulation",
+    "Route",
+    "BPDU",
+    "SpanningTreeProtocol",
+    "STPReport",
+    "stp_tree",
+]

@@ -1,0 +1,97 @@
+"""Policy disputes: the BAD GADGET oscillation, expressed algebraically.
+
+The paper's Section 5 lineage (Griffin-Shepherd-Wilfong [31], Sobrinho
+[21]) shows that path-vector protocols can oscillate forever when the
+policy is not monotone.  The canonical example is BAD GADGET: three nodes
+around a destination, each preferring the route *through its clockwise
+neighbor* over its own direct route — but only while that neighbor routes
+directly.
+
+That per-node preference structure fits our edge-weighted algebra model
+with a small non-monotone algebra:
+
+* direct arcs to the destination carry ``L``;
+* cycle arcs carry ``H``;
+* composition: ``H ⊕ L = HL`` (one hop around, then direct), while
+  ``H ⊕ HL = φ`` (no second lap) and every other composition is ``φ``;
+* preference: ``HL ≺ L ≺ H``.
+
+So a node whose clockwise neighbor routes directly (weight ``L``) imports
+``H ⊕ L = HL`` — strictly better than its own direct ``L`` — and
+abandons the direct route; its counterclockwise neighbor then loses the
+``HL`` option (``H ⊕ HL = φ``) and falls back to direct; and so on,
+forever.  Monotonicity fails precisely at ``L ⪯̸ H ⊕ L``: prepending an
+edge *improved* the route, which is exactly what Theorem-style
+convergence results forbid.
+
+:func:`bad_gadget` builds the 4-node instance;
+:mod:`repro.protocols.path_vector` detects the oscillation via its
+activation budget.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.algebra.base import PHI, RoutingAlgebra
+from repro.algebra.properties import PropertyProfile
+from repro.graphs.weighting import WEIGHT_ATTR
+
+DIRECT = "L"
+AROUND = "H"
+AROUND_THEN_DIRECT = "HL"
+
+
+class DisputeWheelAlgebra(RoutingAlgebra):
+    """The non-monotone 3-weight algebra realizing BAD GADGET."""
+
+    name = "dispute-wheel"
+    is_right_associative = True
+
+    _RANK = {AROUND_THEN_DIRECT: 0, DIRECT: 1, AROUND: 2}
+
+    def combine_finite(self, w1, w2):
+        if w1 == AROUND and w2 == DIRECT:
+            return AROUND_THEN_DIRECT
+        return PHI
+
+    def leq_finite(self, w1, w2):
+        return self._RANK[w1] <= self._RANK[w2]
+
+    def contains(self, weight):
+        return weight in self._RANK
+
+    def sample_weights(self, rng, count):
+        return [rng.choice((DIRECT, AROUND)) for _ in range(count)]
+
+    def canonical_weights(self):
+        return (DIRECT, AROUND, AROUND_THEN_DIRECT)
+
+    def declared_properties(self):
+        # Non-monotone by construction: L ⪯̸ H ⊕ L = HL.
+        return PropertyProfile(
+            monotone=False,
+            strictly_monotone=False,
+            selective=False,
+            condensed=False,
+            delimited=False,
+        )
+
+
+def bad_gadget(spokes: int = 3) -> nx.DiGraph:
+    """The BAD GADGET instance: *spokes* rim nodes around destination 0.
+
+    Rim node ``i`` (1-based) has a direct ``L`` arc to the destination and
+    an ``H`` arc to its clockwise rim neighbor.  With the
+    :class:`DisputeWheelAlgebra`, path-vector routing to destination 0
+    oscillates forever for odd ``spokes >= 3`` (the classic case is 3).
+    """
+    if spokes < 3:
+        raise ValueError("a dispute wheel needs at least 3 rim nodes")
+    digraph = nx.DiGraph()
+    digraph.add_node(0)
+    for i in range(1, spokes + 1):
+        digraph.add_edge(i, 0, **{WEIGHT_ATTR: DIRECT})
+        clockwise = i % spokes + 1
+        digraph.add_edge(i, clockwise, **{WEIGHT_ATTR: AROUND})
+    return digraph

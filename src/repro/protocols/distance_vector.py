@@ -1,0 +1,187 @@
+"""A synchronous distance-vector protocol — hop-by-hop routing, live.
+
+Proposition 2 says destination-based hop-by-hop routing works *iff* the
+algebra is regular.  The distributed face of that statement is the
+distance-vector (generalized Bellman-Ford) protocol: nodes exchange only
+``(destination, weight)`` vectors — no paths — and each picks the
+⪯-least ``w(u,v) ⊕ w_v(d)``.
+
+* For **regular** algebras the protocol converges, in at most ``n-1``
+  rounds, to exactly the generalized-Dijkstra preferred weights, and the
+  induced next hops forward on preferred paths (the tests verify both).
+* For **non-isotone** algebras (shortest-widest path) the converged
+  weights can be *suboptimal*: a node's best route may need to extend a
+  neighbor's non-best route, which distance-vector never advertises.
+  :func:`suboptimality_report` quantifies this — the executable version
+  of the paper's claim that SW cannot be routed per destination.
+* Without path information there is no loop suppression; with monotone
+  weights and synchronous rounds from cold start that is harmless (the
+  classic count-to-infinity pathologies need failures, which this
+  simulation deliberately keeps out of scope — see
+  :mod:`repro.protocols.path_vector` for the failure-capable engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.algebra.base import PHI, RoutingAlgebra, Weight, is_phi
+from repro.exceptions import RoutingError
+from repro.graphs.weighting import WEIGHT_ATTR
+
+
+@dataclass(frozen=True)
+class DVEntry:
+    """One distance-vector RIB entry: weight and chosen next hop."""
+
+    weight: Weight
+    next_hop: object
+
+
+@dataclass
+class DVReport:
+    """Outcome of a distance-vector run."""
+
+    converged: bool
+    rounds: int
+    vector_exchanges: int
+
+    def summary(self) -> str:
+        state = "converged" if self.converged else "DID NOT CONVERGE"
+        return (
+            f"distance-vector {state} after {self.rounds} rounds, "
+            f"{self.vector_exchanges} vector exchanges"
+        )
+
+
+class DistanceVectorSimulation:
+    """Synchronous-round generalized Bellman-Ford over one instance."""
+
+    def __init__(self, graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
+                 max_rounds: Optional[int] = None):
+        self.graph = graph
+        self.algebra = algebra
+        self.attr = attr
+        self.max_rounds = max_rounds or (2 * graph.number_of_nodes() + 4)
+        self._directed = graph.is_directed()
+        # rib[u][d] = DVEntry
+        self._rib: Dict[object, Dict[object, DVEntry]] = {
+            node: {} for node in graph.nodes()
+        }
+        self._report: Optional[DVReport] = None
+
+    def _out_neighbors(self, node):
+        return self.graph.successors(node) if self._directed else self.graph.neighbors(node)
+
+    def _candidates(self, node, dest, previous):
+        """All imports of neighbors' advertised weights at *node*."""
+        for neighbor in self._out_neighbors(node):
+            arc = self.graph[node][neighbor][self.attr]
+            if is_phi(arc) or not self.algebra.contains(arc):
+                continue
+            if neighbor == dest:
+                yield arc, neighbor
+                continue
+            entry = previous[neighbor].get(dest)
+            if entry is None:
+                continue
+            weight = self.algebra.combine(arc, entry.weight)
+            if not is_phi(weight):
+                yield weight, neighbor
+
+    def run(self) -> DVReport:
+        """Iterate synchronous rounds until the vectors stop changing."""
+        exchanges = 0
+        for round_index in range(1, self.max_rounds + 1):
+            previous = {
+                node: dict(entries) for node, entries in self._rib.items()
+            }
+            changed = False
+            for node in self.graph.nodes():
+                exchanges += sum(1 for _ in self._out_neighbors(node))
+                for dest in self.graph.nodes():
+                    if dest == node:
+                        continue
+                    best: Optional[DVEntry] = None
+                    best_key = None
+                    key_fn = self.algebra.comparison_key()
+                    for weight, neighbor in self._candidates(node, dest, previous):
+                        cand_key = (key_fn(weight), neighbor)
+                        if best is None or cand_key < best_key:
+                            best = DVEntry(weight, neighbor)
+                            best_key = cand_key
+                    old = previous[node].get(dest)
+                    if best is None:
+                        if old is not None:
+                            self._rib[node].pop(dest, None)
+                            changed = True
+                        continue
+                    if old is None or not self.algebra.eq(old.weight, best.weight) \
+                            or old.next_hop != best.next_hop:
+                        changed = True
+                    self._rib[node][dest] = best
+            if not changed:
+                self._report = DVReport(True, round_index, exchanges)
+                return self._report
+        self._report = DVReport(False, self.max_rounds, exchanges)
+        return self._report
+
+    # -- inspection ------------------------------------------------------
+
+    def weight(self, source, dest) -> Weight:
+        entry = self._rib[source].get(dest)
+        return entry.weight if entry else PHI
+
+    def next_hop(self, source, dest):
+        entry = self._rib[source].get(dest)
+        return entry.next_hop if entry else None
+
+    def forwarding_path(self, source, dest, max_hops: Optional[int] = None) -> Tuple:
+        """Follow the converged next hops; raises on loops/black holes."""
+        if max_hops is None:
+            max_hops = self.graph.number_of_nodes() + 2
+        path = [source]
+        current = source
+        for _ in range(max_hops):
+            if current == dest:
+                return tuple(path)
+            nxt = self.next_hop(current, dest)
+            if nxt is None:
+                raise RoutingError(f"black hole at {current!r} toward {dest!r}")
+            path.append(nxt)
+            current = nxt
+        raise RoutingError(f"forwarding loop toward {dest!r}: {path}")
+
+
+def suboptimality_report(graph, algebra: RoutingAlgebra, optimum_oracle,
+                         attr: str = WEIGHT_ATTR) -> Dict[str, int]:
+    """Compare converged distance-vector weights to true optima.
+
+    *optimum_oracle(source, target)* returns the preferred weight.  The
+    returned counters make Proposition 2 measurable: for regular algebras
+    ``suboptimal == 0``; for shortest-widest path it is typically not.
+    """
+    sim = DistanceVectorSimulation(graph, algebra, attr=attr)
+    report = sim.run()
+    if not report.converged:
+        raise RoutingError("distance-vector failed to converge")
+    optimal = suboptimal = unreachable = 0
+    for s in graph.nodes():
+        for t in graph.nodes():
+            if s == t:
+                continue
+            truth = optimum_oracle(s, t)
+            mine = sim.weight(s, t)
+            if is_phi(truth):
+                unreachable += 1
+            elif algebra.eq(mine, truth):
+                optimal += 1
+            else:
+                suboptimal += 1
+    return {
+        "optimal": optimal,
+        "suboptimal": suboptimal,
+        "unreachable": unreachable,
+        "rounds": report.rounds,
+    }

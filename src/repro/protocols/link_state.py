@@ -1,0 +1,154 @@
+"""A link-state protocol: flooding plus local generalized Dijkstra.
+
+The third classical routing paradigm, completing the trio with
+distance-vector and path-vector.  Every node floods link-state
+advertisements (LSAs) describing its incident edges; once each node holds
+the full topology it runs generalized Dijkstra locally (OSPF with an
+algebra-shaped metric).
+
+Its place in the paper's memory story is instructive: the *routing table*
+a link-state node derives is the same per-destination table as
+Observation 1, but the node additionally stores the link-state database —
+``Theta(m log W)`` bits of topology.  Link-state therefore trades
+protocol simplicity and per-algebra generality (any regular algebra, no
+convergence subtleties) for strictly more local memory than even the
+incompressible lower bounds require; compact routing attacks the table,
+but a link-state router could never be compact in total state.
+
+The simulation is synchronous: in each round every node forwards the LSAs
+it learned in the previous round to all neighbors; flooding completes in
+eccentricity-many rounds, after which routes are computed locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.algebra.base import PHI, RoutingAlgebra, Weight
+from repro.exceptions import RoutingError
+from repro.graphs.weighting import WEIGHT_ATTR
+from repro.routing.memory import bits_for_count, label_bits_for_nodes
+
+
+@dataclass(frozen=True)
+class LSA:
+    """One link-state advertisement: an edge and its weight."""
+
+    origin: object
+    neighbor: object
+    weight: Weight
+
+
+@dataclass
+class LSReport:
+    """Outcome of a link-state flooding run."""
+
+    converged: bool
+    rounds: int
+    lsa_transmissions: int
+
+    def summary(self) -> str:
+        state = "flooded" if self.converged else "DID NOT COMPLETE"
+        return (
+            f"link-state {state} in {self.rounds} rounds, "
+            f"{self.lsa_transmissions} LSA transmissions"
+        )
+
+
+class LinkStateSimulation:
+    """Synchronous LSA flooding + local route computation.
+
+    Undirected graphs only (the OSPF-style setting); the algebra must be
+    regular for the local Dijkstra to be exact, matching the Section 2.4
+    discussion.
+    """
+
+    def __init__(self, graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
+                 max_rounds: Optional[int] = None):
+        if graph.is_directed():
+            raise RoutingError("the link-state simulation models undirected IGPs")
+        self.graph = graph
+        self.algebra = algebra
+        self.attr = attr
+        self.max_rounds = max_rounds or (graph.number_of_nodes() + 2)
+        # each node's link-state database: set of LSAs it has heard
+        self._lsdb: Dict[object, set] = {}
+        self._report: Optional[LSReport] = None
+        self._trees: Dict[object, object] = {}
+
+    def _local_lsas(self, node) -> set:
+        return {
+            LSA(node, neighbor, self.graph[node][neighbor][self.attr])
+            for neighbor in self.graph.neighbors(node)
+        }
+
+    def run(self) -> LSReport:
+        """Flood until every database is complete (or the budget runs out)."""
+        self._lsdb = {node: self._local_lsas(node) for node in self.graph.nodes()}
+        fresh: Dict[object, set] = {node: set(self._lsdb[node]) for node in self.graph.nodes()}
+        transmissions = 0
+        total_lsas = 2 * self.graph.number_of_edges()  # one LSA per edge endpoint
+        for round_index in range(1, self.max_rounds + 1):
+            incoming: Dict[object, set] = {node: set() for node in self.graph.nodes()}
+            for node in self.graph.nodes():
+                if not fresh[node]:
+                    continue
+                for neighbor in self.graph.neighbors(node):
+                    transmissions += len(fresh[node])
+                    incoming[neighbor] |= fresh[node]
+            fresh = {}
+            for node in self.graph.nodes():
+                new = incoming[node] - self._lsdb[node]
+                self._lsdb[node] |= new
+                fresh[node] = new
+            if all(len(db) == total_lsas for db in self._lsdb.values()):
+                self._report = LSReport(True, round_index, transmissions)
+                return self._report
+            if not any(fresh.values()):
+                # flooding quiesced without full coverage (disconnected)
+                self._report = LSReport(False, round_index, transmissions)
+                return self._report
+        self._report = LSReport(False, self.max_rounds, transmissions)
+        return self._report
+
+    def _tree(self, source):
+        if source not in self._trees:
+            if self._report is None:
+                raise RoutingError("run() the flooding before querying routes")
+            # rebuild the topology this node believes in, from its own LSDB
+            import networkx as nx
+
+            believed = nx.Graph()
+            believed.add_nodes_from([source])
+            for lsa in self._lsdb[source]:
+                believed.add_edge(lsa.origin, lsa.neighbor,
+                                  **{self.attr: lsa.weight})
+            from repro.paths.dijkstra import preferred_path_tree
+
+            self._trees[source] = preferred_path_tree(
+                believed, self.algebra, source, attr=self.attr
+            )
+        return self._trees[source]
+
+    def weight(self, source, dest) -> Weight:
+        tree = self._tree(source)
+        return tree.weight.get(dest, PHI)
+
+    def path(self, source, dest) -> Optional[Tuple]:
+        path = self._tree(source).path_to(dest)
+        return tuple(path) if path else None
+
+    def lsdb_bits(self, node) -> int:
+        """Definition 2-style accounting of the node's total state.
+
+        Each LSA costs two node ids plus a weight; weights are charged a
+        flat field sized by the number of distinct weights in the network
+        (the honest lower bound for this instance).
+        """
+        n = self.graph.number_of_nodes()
+        distinct_weights = len({
+            lsa.weight for db in self._lsdb.values() for lsa in db
+        }) or 1
+        per_lsa = 2 * label_bits_for_nodes(n) + bits_for_count(distinct_weights)
+        return len(self._lsdb[node]) * per_lsa

@@ -1,0 +1,241 @@
+"""An asynchronous path-vector protocol over routing algebras.
+
+Section 5 grounds its model in the fact that BGP is a *path-vector*
+protocol: link properties compose from the destination toward the source,
+and each node advertises its chosen route to its neighbors.  This module
+implements that protocol as an event-driven simulation over any routing
+algebra, which serves three purposes:
+
+1. it is the executable justification for right-associativity (the
+   ``w(u,v) ⊕ w_v(d)`` import composition *is* the protocol step);
+2. for regular algebras it converges to exactly the preferred paths of
+   generalized Dijkstra (Sobrinho's correctness result, which the tests
+   verify), and for the monotone BGP algebras it converges to stable
+   valley-free routings;
+3. for non-monotone policies it exposes BGP's pathologies: the classic
+   dispute-wheel oscillation (Griffin-Shepherd-Wilfong [31]) is
+   reproduced in :mod:`repro.protocols.disputes` and detected here via
+   the activation budget.
+
+Mechanics (standard BGP abstraction):
+
+* every node keeps an adj-RIB-in per (neighbor, destination) — the last
+  route that neighbor advertised;
+* a node's best route to ``d`` minimizes ``w(node, nbr) ⊕ w_nbr(d)``
+  over neighbors (φ results and paths already containing the node are
+  rejected — BGP loop suppression);
+* whenever the best route changes, the node advertises it (or a
+  withdrawal) to all neighbors, scheduling them for re-evaluation.
+
+The scheduler processes one (node, destination) activation at a time from
+a FIFO queue (deterministic; a seeded ``rng`` may shuffle for adversarial
+orderings).  Convergence = empty queue; exceeding ``max_activations``
+reports divergence instead of looping forever.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.algebra.base import PHI, RoutingAlgebra, Weight, is_phi
+from repro.exceptions import RoutingError
+from repro.graphs.weighting import WEIGHT_ATTR
+
+#: Marker for the origin's self-advertisement (semigroups lack an identity
+#: element, so the destination's own "route" carries no weight).
+ORIGIN = object()
+
+
+@dataclass(frozen=True)
+class Route:
+    """A path-vector route: algebra weight plus the full AS-path."""
+
+    weight: Weight
+    path: Tuple  # (node, ..., destination)
+
+    @property
+    def next_hop(self):
+        return self.path[1] if len(self.path) > 1 else None
+
+
+@dataclass
+class ConvergenceReport:
+    """Outcome of one :meth:`PathVectorSimulation.run`."""
+
+    converged: bool
+    activations: int
+    messages: int
+    changed_routes: int
+
+    def summary(self) -> str:
+        state = "converged" if self.converged else "DIVERGED"
+        return (
+            f"path-vector {state}: {self.activations} activations, "
+            f"{self.messages} messages, {self.changed_routes} route changes"
+        )
+
+
+class PathVectorSimulation:
+    """Event-driven path-vector routing over one (graph, algebra) instance.
+
+    Works on digraphs (BGP-labelled arcs) and undirected graphs (each edge
+    acts as two arcs of the same weight, matching the Section 2 model with
+    commutative ⊕).
+    """
+
+    def __init__(self, graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
+                 rng: Optional[random.Random] = None, max_activations: int = 200_000):
+        self.graph = graph
+        self.algebra = algebra
+        self.attr = attr
+        self.rng = rng
+        self.max_activations = max_activations
+        self._directed = graph.is_directed()
+        # adj_rib_in[v][(u, d)] = Route advertised by u (or None = withdrawn)
+        self._adj_rib_in: Dict[object, Dict[Tuple, Route]] = {
+            node: {} for node in graph.nodes()
+        }
+        self._rib: Dict[object, Dict[object, Route]] = {
+            node: {} for node in graph.nodes()
+        }
+        self._queue = deque()
+        self._queued = set()
+        self._messages = 0
+        self._seed_origins()
+
+    # -- topology helpers ------------------------------------------------
+
+    def _out_neighbors(self, node):
+        return self.graph.successors(node) if self._directed else self.graph.neighbors(node)
+
+    def _in_neighbors(self, node):
+        return self.graph.predecessors(node) if self._directed else self.graph.neighbors(node)
+
+    def _arc_weight(self, u, v):
+        """Weight of the arc u -> v (the composition's left operand)."""
+        return self.graph[u][v][self.attr]
+
+    # -- protocol --------------------------------------------------------
+
+    def _seed_origins(self):
+        """Every destination advertises itself to its in-neighbors."""
+        for dest in self.graph.nodes():
+            for u in self._in_neighbors(dest):
+                self._adj_rib_in[u][(dest, dest)] = Route(ORIGIN, (dest,))
+                self._messages += 1
+                self._enqueue(u, dest)
+
+    def _enqueue(self, node, dest):
+        key = (node, dest)
+        if key not in self._queued:
+            self._queued.add(key)
+            self._queue.append(key)
+
+    def _candidate(self, node, neighbor, advertised: Route) -> Optional[Route]:
+        """Import the neighbor's advertised route at *node* (or reject)."""
+        if node in advertised.path:
+            return None  # loop suppression
+        arc = self._arc_weight(node, neighbor)
+        if is_phi(arc) or not self.algebra.contains(arc):
+            # arcs outside the policy's weight domain (e.g. peer arcs seen
+            # by B1) are untraversable for this algebra
+            return None
+        if advertised.weight is ORIGIN:
+            weight = arc
+        else:
+            weight = self.algebra.combine(arc, advertised.weight)
+        if is_phi(weight):
+            return None
+        return Route(weight, (node,) + advertised.path)
+
+    def _best_route(self, node, dest) -> Optional[Route]:
+        key_fn = self.algebra.comparison_key()
+        best = None
+        best_key = None
+        for (neighbor, d), advertised in self._adj_rib_in[node].items():
+            if d != dest or advertised is None:
+                continue
+            candidate = self._candidate(node, neighbor, advertised)
+            if candidate is None:
+                continue
+            # deterministic total preference: algebra order, then path
+            # length, then lexicographic path
+            cand_key = (key_fn(candidate.weight), len(candidate.path), candidate.path)
+            if best is None or cand_key < best_key:
+                best, best_key = candidate, cand_key
+        return best
+
+    def _routes_equal(self, a: Optional[Route], b: Optional[Route]) -> bool:
+        if a is None or b is None:
+            return a is b
+        return a.path == b.path and self.algebra.eq(a.weight, b.weight)
+
+    def run(self) -> ConvergenceReport:
+        """Process activations until quiescence (or the budget runs out)."""
+        activations = 0
+        changed = 0
+        while self._queue:
+            if activations >= self.max_activations:
+                return ConvergenceReport(False, activations, self._messages, changed)
+            if self.rng is not None and len(self._queue) > 1 and self.rng.random() < 0.25:
+                self._queue.rotate(self.rng.randrange(len(self._queue)))
+            node, dest = self._queue.popleft()
+            self._queued.discard((node, dest))
+            activations += 1
+            if node == dest:
+                continue
+            new = self._best_route(node, dest)
+            old = self._rib[node].get(dest)
+            if self._routes_equal(old, new):
+                continue
+            changed += 1
+            if new is None:
+                self._rib[node].pop(dest, None)
+            else:
+                self._rib[node][dest] = new
+            for v in self._in_neighbors(node):
+                self._adj_rib_in[v][(node, dest)] = new
+                self._messages += 1
+                self._enqueue(v, dest)
+        return ConvergenceReport(True, activations, self._messages, changed)
+
+    # -- inspection and fault injection -----------------------------------
+
+    def route(self, source, dest) -> Optional[Route]:
+        """The current best route at *source* toward *dest*."""
+        return self._rib[source].get(dest)
+
+    def routes_from(self, source) -> Dict[object, Route]:
+        return dict(self._rib[source])
+
+    def is_stable(self) -> bool:
+        """No node could improve given its neighbors' current routes."""
+        for node in self.graph.nodes():
+            for dest in self.graph.nodes():
+                if node == dest:
+                    continue
+                if not self._routes_equal(
+                    self._rib[node].get(dest), self._best_route(node, dest)
+                ):
+                    return False
+        return True
+
+    def fail_edge(self, u, v):
+        """Remove the edge/arc pair (u, v) and schedule reconvergence."""
+        if not self.graph.has_edge(u, v):
+            raise RoutingError(f"no edge ({u!r}, {v!r}) to fail")
+        self.graph.remove_edge(u, v)
+        if self._directed and self.graph.has_edge(v, u):
+            self.graph.remove_edge(v, u)
+        for a, b in ((u, v), (v, u)):
+            # flush routes learned across the failed adjacency
+            stale = [key for key in self._adj_rib_in[a] if key[0] == b]
+            for key in stale:
+                del self._adj_rib_in[a][key]
+                self._enqueue(a, key[1])
+            # the peer's self-advertisement is also gone
+            self._adj_rib_in[a].pop((b, b), None)
+            self._enqueue(a, b)

@@ -1,0 +1,159 @@
+"""A distributed spanning tree protocol — footnote 5, executable.
+
+The paper notes that Ethernet running the Spanning Tree Protocol is the
+usable-path algebra ``U`` in action: any spanning tree realizes preferred
+(= merely traversable) paths, which is why Lemma 1/Theorem 1 "explain"
+STP's existence.  This module implements a synchronous-round abstraction
+of IEEE 802.1D:
+
+* every bridge believes itself root initially and floods BPDUs
+  ``(root id, cost to root, sender id)``;
+* on each round a bridge adopts the best BPDU heard (lexicographically
+  least root, then cost + link cost, then sender), designating the port
+  it arrived on as its *root port*;
+* when the vectors stabilize, the root ports form a spanning tree rooted
+  at the minimum-id bridge.
+
+:func:`stp_tree` returns that tree, ready to feed
+:class:`repro.routing.tree_routing.TreeRoutingScheme` — closing the loop
+from a real distributed protocol to the paper's O(log n) tree routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+
+from repro.exceptions import GraphError
+from repro.graphs.weighting import WEIGHT_ATTR
+
+
+@dataclass(frozen=True)
+class BPDU:
+    """A bridge protocol data unit: the STP priority vector."""
+
+    root: object
+    cost: int
+    sender: object
+
+    def key(self) -> Tuple:
+        return (self.root, self.cost, self.sender)
+
+
+@dataclass
+class STPReport:
+    """Outcome of one protocol run."""
+
+    converged: bool
+    rounds: int
+    bpdus_sent: int
+    root: object
+
+    def summary(self) -> str:
+        state = "converged" if self.converged else "DID NOT CONVERGE"
+        return (
+            f"stp {state} after {self.rounds} rounds, {self.bpdus_sent} BPDUs, "
+            f"root bridge {self.root}"
+        )
+
+
+class SpanningTreeProtocol:
+    """Synchronous 802.1D-style root election and root-port selection.
+
+    Link costs default to 1 per hop; an integer edge attribute *cost_attr*
+    overrides them (the algebra-side analogue is that STP really elects a
+    min-cost tree, but for usable-path routing any tree is preferred).
+    """
+
+    def __init__(self, graph, cost_attr: Optional[str] = None,
+                 max_rounds: Optional[int] = None):
+        if graph.is_directed():
+            raise GraphError("STP runs on undirected (bridged LAN) topologies")
+        if graph.number_of_nodes() == 0:
+            raise GraphError("empty topology")
+        if not nx.is_connected(graph):
+            raise GraphError("STP needs a connected bridged topology")
+        self.graph = graph
+        self.cost_attr = cost_attr
+        self.max_rounds = max_rounds or (2 * graph.number_of_nodes() + 4)
+        # each bridge's current best vector and root port (neighbor)
+        self._best: Dict[object, BPDU] = {
+            node: BPDU(node, 0, node) for node in graph.nodes()
+        }
+        self._root_port: Dict[object, Optional[object]] = {
+            node: None for node in graph.nodes()
+        }
+        self._report: Optional[STPReport] = None
+
+    def _link_cost(self, u, v) -> int:
+        if self.cost_attr is None:
+            return 1
+        return int(self.graph[u][v][self.cost_attr])
+
+    def run(self) -> STPReport:
+        sent = 0
+        for round_index in range(1, self.max_rounds + 1):
+            snapshot = dict(self._best)
+            changed = False
+            for node in self.graph.nodes():
+                best = BPDU(node, 0, node)
+                best_port = None
+                for neighbor in self.graph.neighbors(node):
+                    sent += 1
+                    heard = snapshot[neighbor]
+                    candidate = BPDU(
+                        heard.root, heard.cost + self._link_cost(node, neighbor),
+                        neighbor,
+                    )
+                    if candidate.key() < best.key():
+                        best = candidate
+                        best_port = neighbor
+                if best.key() != self._best[node].key() or \
+                        best_port != self._root_port[node]:
+                    changed = True
+                    self._best[node] = best
+                    self._root_port[node] = best_port
+            if not changed:
+                root = min(bpdu.root for bpdu in self._best.values())
+                self._report = STPReport(True, round_index, sent, root)
+                return self._report
+        self._report = STPReport(False, self.max_rounds, sent, None)
+        return self._report
+
+    @property
+    def root(self):
+        if self._report is None or not self._report.converged:
+            raise GraphError("run() has not converged yet")
+        return self._report.root
+
+    def tree(self) -> nx.Graph:
+        """The elected spanning tree (root ports), with unit edge weights."""
+        root = self.root  # validates convergence
+        tree = nx.Graph()
+        tree.add_nodes_from(self.graph.nodes())
+        for node, port in self._root_port.items():
+            if port is not None:
+                tree.add_edge(node, port, **{WEIGHT_ATTR: 1})
+        if tree.number_of_edges() != self.graph.number_of_nodes() - 1:
+            raise GraphError("root ports do not form a spanning tree")
+        return tree
+
+    def blocked_edges(self) -> set:
+        """Edges the protocol left out of the tree (the 'blocking' ports)."""
+        tree = self.tree()
+        return {
+            (min(u, v), max(u, v))
+            for u, v in self.graph.edges()
+            if not tree.has_edge(u, v)
+        }
+
+
+def stp_tree(graph, cost_attr: Optional[str] = None) -> nx.Graph:
+    """Run STP to convergence and return the elected spanning tree."""
+    protocol = SpanningTreeProtocol(graph, cost_attr=cost_attr)
+    report = protocol.run()
+    if not report.converged:
+        raise GraphError("STP did not converge within the round budget")
+    return protocol.tree()

@@ -1,0 +1,77 @@
+"""RIB-based forwarding: a routing function from converged BGP state.
+
+Theorem 8 rules out *compact* schemes for ranked BGP policies (B3/B4),
+but real BGP still forwards per destination: each AS installs the next
+hop of its converged path-vector route.  That is a perfectly valid
+routing function in the Section 2.3 model — it just pays Θ(n log d) bits
+(one entry per destination), and the realized routes are the protocol's
+*stable* routes, which for non-isotone policies may differ from the
+globally preferred ones.
+
+:class:`RIBScheme` materializes exactly this: build it from a converged
+:class:`~repro.protocols.path_vector.PathVectorSimulation` and forward
+hop by hop.  Consistency holds because in a stable state the next hop's
+chosen route to the destination is the suffix the current node's route
+was computed from — packets follow the advertisement chains backwards.
+
+Together with the protocol layer this closes Section 5's loop: the
+*upper* bound side of the ranked-BGP story (a linear-memory routing
+function exists and is what the Internet actually runs), with Theorem 8
+showing nothing sublinear can replace it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.exceptions import NotApplicableError, RoutingError
+from repro.protocols.path_vector import PathVectorSimulation
+from repro.routing.memory import label_bits_for_nodes, port_bits, table_bits
+from repro.routing.model import Decision, RoutingScheme
+
+
+class RIBScheme(RoutingScheme):
+    """Destination-based forwarding over a converged path-vector state."""
+
+    name = "bgp-rib"
+
+    def __init__(self, simulation: PathVectorSimulation):
+        if not simulation.is_stable():
+            raise NotApplicableError(
+                "the path-vector state is not stable; run() the simulation "
+                "to convergence before building a RIB scheme"
+            )
+        super().__init__(simulation.graph, simulation.algebra, simulation.attr)
+        self._next_hop: Dict[object, Dict[object, object]] = {}
+        self._routes = {}
+        for node in simulation.graph.nodes():
+            routes = simulation.routes_from(node)
+            self._routes[node] = routes
+            self._next_hop[node] = {
+                dest: route.next_hop for dest, route in routes.items()
+            }
+
+    def stable_route(self, source, dest):
+        """The converged path-vector route installed at *source*."""
+        return self._routes[source].get(dest)
+
+    def initial_header(self, source, target):
+        return target
+
+    def local_decision(self, node, header) -> Decision:
+        target = header
+        if node == target:
+            return Decision.deliver()
+        next_hop = self._next_hop[node].get(target)
+        if next_hop is None:
+            raise RoutingError(f"no RIB entry at {node!r} for {target!r}")
+        return Decision.forward(self.ports.port(node, next_hop), header)
+
+    def table_bits(self, node) -> int:
+        entries = len(self._next_hop[node])
+        key = label_bits_for_nodes(self.graph.number_of_nodes())
+        value = port_bits(self.ports.degree(node))
+        return table_bits(entries, key, value)
+
+    def label_bits(self, node) -> int:
+        return label_bits_for_nodes(self.graph.number_of_nodes())

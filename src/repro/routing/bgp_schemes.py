@@ -1,0 +1,218 @@
+"""Compact routing schemes for the BGP algebras under A1 + A2 (Theorems 6, 7).
+
+**Theorem 6 (B1).**  Under global reachability (A1) and no provider loops
+(A2) the provider-customer policy is compressible: the provider DAG has a
+*unique* root, every node picks one preferred provider, and the resulting
+provider tree spans the network.  Any in-tree path climbs provider arcs to
+the meeting point and descends customer arcs (``p* c*``) — traversable,
+and hence preferred, since B1 ranks all traversable paths equally.  This
+realizes the proof's reduction to the usable-path algebra U: tree routing
+needs only logarithmic local memory.
+
+**Theorem 7 (B2).**  With peering, split the graph into strongly connected
+valley-free components; inside each component valley-free routing reduces
+to B1 (tree routing on the component's provider tree), and the component
+roots are joined by a full peer mesh.  A cross-component route climbs to
+the source's root, crosses one peer arc, and descends — the label sequence
+``p* r c*`` is exactly a traversable B2 path.
+
+The implementation instantiates components as *root cones* (the customer
+cone of each provider-DAG root) and requires them to be disjoint with a
+full peer mesh among roots; topologies from
+:func:`repro.graphs.bgp_topologies.tiered_as_topology` with cone-respecting
+multihoming satisfy this, and the constructor validates it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import networkx as nx
+
+from repro.algebra.bgp import CUSTOMER, PEER, BGPAlgebra
+from repro.algebra.catalog import UsablePath
+from repro.exceptions import NotApplicableError, RoutingError
+from repro.graphs.bgp_topologies import provider_dag, roots as dag_roots, satisfies_a2
+from repro.graphs.weighting import WEIGHT_ATTR
+from repro.routing.memory import bits_for_count, label_bits_for_nodes, port_bits
+from repro.routing.model import Action, Decision, RoutingScheme
+from repro.routing.tree_routing import TreeRoutingScheme
+
+
+def _preferred_provider_tree(digraph, nodes: Set, attr: str) -> nx.Graph:
+    """The provider tree over *nodes*: each non-root joins its least-id provider."""
+    tree = nx.Graph()
+    tree.add_nodes_from(nodes)
+    dag = provider_dag(digraph, attr)
+    for node in nodes:
+        providers = sorted(p for p in dag.successors(node) if p in nodes)
+        if providers:
+            tree.add_edge(node, providers[0], **{attr: 1})
+    return tree
+
+
+class B1TreeScheme(RoutingScheme):
+    """Theorem 6: tree routing on the preferred provider tree of B1.
+
+    Requires a single provider-DAG root (guaranteed by A1 + A2) and
+    delegates forwarding to the heavy-path tree-routing scheme with the
+    usable-path weighting from the proof's reduction.
+    """
+
+    name = "b1-provider-tree"
+
+    def __init__(self, digraph, algebra: BGPAlgebra, attr: str = WEIGHT_ATTR):
+        super().__init__(digraph, algebra, attr)
+        if not satisfies_a2(digraph, attr):
+            raise NotApplicableError("Theorem 6 requires A2 (no provider loops)")
+        root_nodes = dag_roots(digraph, attr)
+        if len(root_nodes) != 1:
+            raise NotApplicableError(
+                f"Theorem 6 requires a unique root; found {root_nodes!r} "
+                f"(under A1 + A2 exactly one node has no provider)"
+            )
+        self.root = root_nodes[0]
+        tree = _preferred_provider_tree(digraph, set(digraph.nodes()), attr)
+        if tree.number_of_edges() != digraph.number_of_nodes() - 1:
+            raise NotApplicableError("the provider choices do not form a spanning tree")
+        self.tree = tree
+        self._inner = TreeRoutingScheme(digraph, UsablePath(), attr=attr,
+                                        tree=tree, check_properties=False)
+
+    def label(self, node):
+        return self._inner.label(node)
+
+    def initial_header(self, source, target):
+        return self._inner.initial_header(source, target)
+
+    def local_decision(self, node, header) -> Decision:
+        return self._inner.local_decision(node, header)
+
+    def table_bits(self, node) -> int:
+        return self._inner.table_bits(node)
+
+    def label_bits(self, node) -> int:
+        return self._inner.label_bits(node)
+
+
+class B2ConeScheme(RoutingScheme):
+    """Theorem 7: per-cone provider trees plus the root peer mesh.
+
+    The packet header is the destination's label ``(root, tree label)``.
+    Forwarding: same cone → in-cone tree routing; different cone → climb
+    to the local root (parent port), cross the peer arc to the
+    destination's root, then tree-route down.
+    """
+
+    name = "b2-svfc"
+
+    def __init__(self, digraph, algebra: BGPAlgebra, attr: str = WEIGHT_ATTR):
+        super().__init__(digraph, algebra, attr)
+        if not satisfies_a2(digraph, attr):
+            raise NotApplicableError("Theorem 7 requires A2 (no provider loops)")
+        self.roots = dag_roots(digraph, attr)
+        if not self.roots:
+            raise NotApplicableError("the provider DAG has no root")
+
+        cones = {root: self._cone(digraph, root, attr) for root in self.roots}
+        assigned: Dict[object, object] = {}
+        for root, members in cones.items():
+            for node in members:
+                if node in assigned:
+                    raise NotApplicableError(
+                        f"node {node!r} lies in the cones of both {assigned[node]!r} "
+                        f"and {root!r}; Theorem 7's SVFC decomposition needs disjoint "
+                        f"components (multihome within one cone)"
+                    )
+                assigned[node] = root
+        if len(assigned) != digraph.number_of_nodes():
+            missing = set(digraph.nodes()) - set(assigned)
+            raise NotApplicableError(f"nodes outside every cone: {sorted(missing)!r}")
+        self.root_of = assigned
+
+        for a in self.roots:
+            for b in self.roots:
+                if a != b and not (
+                    digraph.has_edge(a, b) and digraph[a][b][attr] == PEER
+                ):
+                    raise NotApplicableError(
+                        f"roots {a!r} and {b!r} are not peered; Theorem 7 needs the "
+                        f"full root peer mesh implied by A1 + A2"
+                    )
+
+        self._trees: Dict[object, TreeRoutingScheme] = {}
+        self._parent_port: Dict[object, int] = {}
+        for root, members in cones.items():
+            tree = _preferred_provider_tree(digraph, members, attr)
+            if tree.number_of_edges() != len(members) - 1:
+                raise NotApplicableError(f"cone of {root!r} has no provider spanning tree")
+            self._trees[root] = TreeRoutingScheme(digraph, UsablePath(), attr=attr,
+                                                  tree=tree, check_properties=False)
+            for node in members:
+                if node != root:
+                    providers = sorted(
+                        p for p in provider_dag(digraph, attr).successors(node)
+                        if p in members
+                    )
+                    self._parent_port[node] = self.ports.port(node, providers[0])
+        self._peer_port: Dict[object, Dict[object, int]] = {
+            a: {b: self.ports.port(a, b) for b in self.roots if b != a}
+            for a in self.roots
+        }
+
+    @staticmethod
+    def _cone(digraph, root, attr) -> Set:
+        """The customer cone of *root*: nodes reachable via ``c`` arcs."""
+        seen = {root}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for _, nxt, data in digraph.out_edges(node, data=True):
+                if data[attr] == CUSTOMER and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def label(self, node):
+        root = self.root_of[node]
+        return (root, self._trees[root].label(node))
+
+    def initial_header(self, source, target):
+        return self.label(target)
+
+    def local_decision(self, node, header) -> Decision:
+        target_root, tree_label = header
+        my_root = self.root_of[node]
+        if my_root == target_root:
+            inner = self._trees[my_root].local_decision(node, tree_label)
+            if inner.action is Action.DELIVER:
+                return inner
+            # Preserve the outer header: the inner scheme only knows the
+            # tree label.
+            return Decision.forward(inner.port, header)
+        if node == my_root:
+            return Decision.forward(self._peer_port[node][target_root], header)
+        return Decision.forward(self._parent_port[node], header)
+
+    def table_bits(self, node) -> int:
+        n = self.graph.number_of_nodes()
+        my_root = self.root_of[node]
+        bits = label_bits_for_nodes(n)  # own root id
+        bits += self._trees[my_root].table_bits(node)
+        if node == my_root:
+            # Root peer table: one (root id, port) entry per other root.  The
+            # paper invokes a special port labelling [32] to squeeze this to
+            # O(log n); we charge the straightforward table, which is
+            # O(#roots log n) — logarithmic whenever the number of
+            # components is bounded.
+            bits += len(self._peer_port[node]) * (
+                label_bits_for_nodes(n) + port_bits(self.ports.degree(node))
+            )
+        else:
+            bits += port_bits(self.ports.degree(node))  # parent port
+        return bits
+
+    def label_bits(self, node) -> int:
+        root = self.root_of[node]
+        return label_bits_for_nodes(self.graph.number_of_nodes()) + \
+            self._trees[root].label_bits(node)

@@ -1,0 +1,131 @@
+"""Classic interval routing on trees — the second tree-routing scheme.
+
+The paper cites Fraigniaud-Gavoille [11] for routing in trees; the classic
+*interval routing* scheme (Santoro-Khatib / van Leeuwen-Tan) is the
+simplest member of that family: number the nodes by DFS preorder, and at
+each node store, for every incident tree port, the DFS interval of the
+subtree reachable through it.  The destination label is a single DFS
+number (log n bits), and a node of tree-degree ``δ`` stores ``δ``
+intervals.
+
+Compared to the heavy-path scheme in :mod:`repro.routing.tree_routing`:
+
+* labels are *shorter* (one integer, no light-port sequence);
+* per-node memory is ``O(deg_T(v) log n)`` instead of ``O(log n)`` —
+  worse on stars, better labels everywhere.
+
+The E20 ablation benchmark quantifies exactly this trade-off; both
+schemes route optimally on the Lemma 1 tree, so the choice is purely a
+label-size vs table-size economy, as in the compact routing literature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+
+from repro.algebra.base import RoutingAlgebra
+from repro.exceptions import NotApplicableError, RoutingError
+from repro.graphs.weighting import WEIGHT_ATTR
+from repro.paths.spanning_tree import preferred_spanning_tree
+from repro.routing.memory import label_bits_for_nodes, port_bits
+from repro.routing.model import Decision, RoutingScheme
+
+
+class IntervalRoutingScheme(RoutingScheme):
+    """DFS-interval routing over a tree (default: the Lemma 1 tree).
+
+    At node ``u`` the table maps each tree port to the half-open DFS
+    interval of the subtree behind it; the parent port owns the
+    complement.  Destination labels are bare DFS numbers.
+    """
+
+    name = "interval-routing"
+
+    def __init__(self, graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
+                 tree: Optional[nx.Graph] = None, check_properties: bool = True):
+        super().__init__(graph, algebra, attr)
+        if tree is None:
+            tree = preferred_spanning_tree(graph, algebra, attr=attr,
+                                           check_properties=check_properties)
+        if not set(tree.nodes()) <= set(graph.nodes()):
+            raise NotApplicableError("the routing tree has nodes outside the graph")
+        if tree.number_of_nodes() == 0 or tree.number_of_edges() != tree.number_of_nodes() - 1:
+            raise NotApplicableError("the routing tree must be a non-empty tree")
+        self.tree = tree
+        self.root = min(tree.nodes())
+        self._dfs: Dict[object, int] = {}
+        self._subtree_end: Dict[object, int] = {}
+        # port -> (lo, hi) interval of the child subtree behind that port
+        self._child_intervals: Dict[object, Dict[int, Tuple[int, int]]] = {}
+        self._parent_port: Dict[object, Optional[int]] = {}
+        self._build()
+
+    def _build(self):
+        parent: Dict[object, Optional[object]] = {self.root: None}
+        order = [self.root]
+        children: Dict[object, list] = {}
+        for node in order:
+            kids = sorted(k for k in self.tree.neighbors(node) if k not in parent)
+            for kid in kids:
+                parent[kid] = node
+            children[node] = kids
+            order.extend(kids)
+
+        counter = 0
+        stack = [(self.root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                self._subtree_end[node] = counter - 1
+                continue
+            self._dfs[node] = counter
+            counter += 1
+            stack.append((node, True))
+            for kid in reversed(children[node]):
+                stack.append((kid, False))
+
+        for node in order:
+            intervals: Dict[int, Tuple[int, int]] = {}
+            for kid in children[node]:
+                intervals[self.ports.port(node, kid)] = (
+                    self._dfs[kid], self._subtree_end[kid]
+                )
+            self._child_intervals[node] = intervals
+            self._parent_port[node] = (
+                self.ports.port(node, parent[node]) if parent[node] is not None else None
+            )
+
+    def label(self, node) -> int:
+        """The DFS number of *node* — the entire address."""
+        return self._dfs[node]
+
+    def initial_header(self, source, target):
+        return self._dfs[target]
+
+    def local_decision(self, node, header) -> Decision:
+        target_dfs = header
+        if target_dfs == self._dfs[node]:
+            return Decision.deliver()
+        for port, (lo, hi) in self._child_intervals[node].items():
+            if lo <= target_dfs <= hi:
+                return Decision.forward(port, header)
+        if self._parent_port[node] is None:
+            raise RoutingError(
+                f"root {node!r} has no interval for dfs {target_dfs!r}"
+            )
+        return Decision.forward(self._parent_port[node], header)
+
+    def table_bits(self, node) -> int:
+        n = self.graph.number_of_nodes()
+        node_bits = label_bits_for_nodes(n)
+        p_bits = port_bits(self.ports.degree(node))
+        # own dfs number + one (port, interval) row per tree port
+        rows = len(self._child_intervals[node])
+        if self._parent_port[node] is not None:
+            rows += 1
+        return node_bits + rows * (p_bits + 2 * node_bits)
+
+    def label_bits(self, node) -> int:
+        return label_bits_for_nodes(self.graph.number_of_nodes())

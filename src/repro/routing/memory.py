@@ -1,0 +1,99 @@
+"""Bit-level memory accounting for routing schemes (Definition 2).
+
+The paper's central quantity is the number of bits needed to encode the
+*local* routing function at a node.  Every scheme in
+:mod:`repro.routing` reports its per-node table size through these
+helpers, so the scaling experiments measure honest bit counts rather than
+Python object sizes.
+
+Conventions (matching the Section 2.3 model):
+
+* node labels are charged at their actual encoded size; the model allows
+  ``c log n`` bits for addresses;
+* local port numbers at node ``v`` live in ``{1, ..., deg(v)}`` and cost
+  ``ceil(log2 deg(v))`` bits;
+* a table is charged per entry: key bits + value bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+
+def bits_for_count(count: int) -> int:
+    """Minimum bits distinguishing *count* values (>= 1 bit for count >= 2).
+
+    ``bits_for_count(1) == 0``: a single possible value needs no storage.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if count == 1:
+        return 0
+    return math.ceil(math.log2(count))
+
+
+def label_bits_for_nodes(n: int) -> int:
+    """Bits of a plain node identifier in an n-node network."""
+    return bits_for_count(max(n, 1))
+
+
+def port_bits(degree: int) -> int:
+    """Bits of a local port number at a node of the given degree."""
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    return bits_for_count(max(degree, 1))
+
+
+def table_bits(entries: int, key_bits: int, value_bits: int) -> int:
+    """Total bits of a table with *entries* (key, value) rows."""
+    if entries < 0 or key_bits < 0 or value_bits < 0:
+        raise ValueError("table dimensions must be non-negative")
+    return entries * (key_bits + value_bits)
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Per-node and aggregate local memory of a scheme on one graph.
+
+    ``max_bits`` realizes the inner ``max_u M_A(R, u)`` of Definition 2 for
+    the particular routing function the scheme built.
+    """
+
+    scheme_name: str
+    n: int
+    per_node_bits: Dict[object, int]
+    max_label_bits: int
+
+    @property
+    def max_bits(self) -> int:
+        return max(self.per_node_bits.values(), default=0)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.per_node_bits.values())
+
+    @property
+    def avg_bits(self) -> float:
+        if not self.per_node_bits:
+            return 0.0
+        return self.total_bits / len(self.per_node_bits)
+
+    def summary(self) -> str:
+        return (
+            f"{self.scheme_name}: n={self.n} max={self.max_bits}b "
+            f"avg={self.avg_bits:.1f}b labels<={self.max_label_bits}b"
+        )
+
+
+def memory_report(scheme) -> MemoryReport:
+    """Collect a :class:`MemoryReport` from any scheme exposing the
+    ``table_bits(node)`` / ``label_bits(node)`` interface."""
+    nodes = list(scheme.graph.nodes())
+    return MemoryReport(
+        scheme_name=scheme.name,
+        n=len(nodes),
+        per_node_bits={node: scheme.table_bits(node) for node in nodes},
+        max_label_bits=max((scheme.label_bits(node) for node in nodes), default=0),
+    )

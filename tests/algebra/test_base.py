@@ -1,0 +1,169 @@
+"""Tests for the routing-algebra base machinery (Section 2.1 model)."""
+
+import pickle
+
+import networkx as nx
+import pytest
+
+from repro.algebra.base import PHI, is_phi
+from repro.algebra.catalog import ShortestPath, UsablePath, WidestPath
+from repro.algebra.bgp import provider_customer_algebra
+from repro.exceptions import AlgebraError
+
+
+@pytest.fixture
+def shortest():
+    return ShortestPath()
+
+
+@pytest.fixture
+def widest():
+    return WidestPath()
+
+
+class TestPhi:
+    def test_phi_is_singleton(self):
+        assert PHI is type(PHI)()
+
+    def test_is_phi(self):
+        assert is_phi(PHI)
+        assert not is_phi(0)
+        assert not is_phi(None)
+        assert not is_phi("phi")
+
+    def test_phi_survives_pickling_as_singleton(self):
+        assert pickle.loads(pickle.dumps(PHI)) is PHI
+
+    def test_phi_repr(self):
+        assert repr(PHI) == "PHI"
+
+
+class TestCombine:
+    def test_combine_finite(self, shortest):
+        assert shortest.combine(2, 3) == 5
+
+    def test_combine_absorbs_phi_left(self, shortest):
+        assert is_phi(shortest.combine(PHI, 3))
+
+    def test_combine_absorbs_phi_right(self, shortest):
+        assert is_phi(shortest.combine(3, PHI))
+
+    def test_combine_phi_phi(self, shortest):
+        assert is_phi(shortest.combine(PHI, PHI))
+
+    def test_widest_combine_is_min(self, widest):
+        assert widest.combine(4, 9) == 4
+
+
+class TestOrder:
+    def test_leq_finite(self, shortest):
+        assert shortest.leq(2, 3)
+        assert not shortest.leq(3, 2)
+
+    def test_phi_is_maximal(self, shortest):
+        assert shortest.leq(10**9, PHI)
+        assert not shortest.leq(PHI, 1)
+
+    def test_phi_equals_itself(self, shortest):
+        assert shortest.leq(PHI, PHI)
+        assert shortest.eq(PHI, PHI)
+        assert not shortest.lt(PHI, PHI)
+
+    def test_lt_strict(self, shortest):
+        assert shortest.lt(1, 2)
+        assert not shortest.lt(2, 2)
+
+    def test_widest_prefers_larger(self, widest):
+        assert widest.leq(9, 4)  # capacity 9 preferred over 4
+        assert widest.lt(9, 4)
+        assert not widest.leq(4, 9)
+
+    def test_eq_means_order_equivalence(self):
+        b1 = provider_customer_algebra()
+        # c and p have equal preference but are distinct semigroup elements
+        assert b1.eq("c", "p")
+        assert b1.combine("p", "c") == "p"
+
+    def test_min_weight(self, shortest):
+        assert shortest.min_weight([5, 2, 9]) == 2
+
+    def test_min_weight_empty_is_phi(self, shortest):
+        assert is_phi(shortest.min_weight([]))
+
+    def test_min_weight_all_phi(self, shortest):
+        assert is_phi(shortest.min_weight([PHI, PHI]))
+
+
+class TestPathWeight:
+    def _chain(self, weights):
+        graph = nx.Graph()
+        for i, w in enumerate(weights):
+            graph.add_edge(i, i + 1, weight=w)
+        return graph
+
+    def test_additive_path(self, shortest):
+        graph = self._chain([1, 2, 3])
+        assert shortest.path_weight(graph, [0, 1, 2, 3]) == 6
+
+    def test_bottleneck_path(self, widest):
+        graph = self._chain([5, 2, 9])
+        assert widest.path_weight(graph, [0, 1, 2, 3]) == 2
+
+    def test_single_edge(self, shortest):
+        graph = self._chain([7])
+        assert shortest.path_weight(graph, [0, 1]) == 7
+
+    def test_trivial_path_raises(self, shortest):
+        graph = self._chain([1])
+        with pytest.raises(AlgebraError):
+            shortest.path_weight(graph, [0])
+
+    def test_missing_edge_is_phi(self, shortest):
+        graph = self._chain([1, 2])
+        assert is_phi(shortest.path_weight(graph, [0, 2]))
+
+    def test_right_associative_fold_order(self):
+        b1 = provider_customer_algebra()
+        # c ⊕ (c ⊕ p) = c ⊕ PHI = PHI, whereas a left fold would compute
+        # (c ⊕ c) ⊕ p = c ⊕ p = PHI too; distinguish with p,c,p:
+        # right: p ⊕ (c ⊕ p) = p ⊕ PHI = PHI; left: (p ⊕ c) ⊕ p = p ⊕ p = p.
+        assert is_phi(b1.combine_sequence(["p", "c", "p"]))
+
+    def test_empty_sequence_raises(self, shortest):
+        with pytest.raises(AlgebraError):
+            shortest.combine_sequence([])
+
+
+class TestPower:
+    def test_power_one(self, shortest):
+        assert shortest.power(4, 1) == 4
+
+    def test_power_additive(self, shortest):
+        assert shortest.power(4, 3) == 12
+
+    def test_power_idempotent_for_widest(self, widest):
+        assert widest.power(7, 5) == 7
+
+    def test_power_of_phi(self, shortest):
+        assert is_phi(shortest.power(PHI, 2))
+
+    def test_power_requires_positive_k(self, shortest):
+        with pytest.raises(AlgebraError):
+            shortest.power(3, 0)
+
+
+class TestSorting:
+    def test_sorted_weights(self, shortest):
+        assert shortest.sorted_weights([3, 1, 2]) == [1, 2, 3]
+
+    def test_sorted_weights_widest(self, widest):
+        # widest prefers large capacities, so sorting is descending numerically
+        assert widest.sorted_weights([3, 1, 2]) == [3, 2, 1]
+
+    def test_sorted_with_phi_last(self, shortest):
+        assert shortest.sorted_weights([PHI, 2, 1]) == [1, 2, PHI]
+
+    def test_comparison_key_usable(self):
+        usable = UsablePath()
+        # every weight equal: sorting is stable
+        assert usable.sorted_weights([1, 1, 1]) == [1, 1, 1]

@@ -1,0 +1,161 @@
+"""Tests for the BGP algebras B1-B4 (Section 5, Tables 2 and 3)."""
+
+import random
+
+import pytest
+
+from repro.algebra.base import PHI, is_phi
+from repro.algebra.bgp import (
+    CUSTOMER,
+    PEER,
+    PROVIDER,
+    REVERSE_LABEL,
+    BGPAlgebra,
+    bgp_full_algebra,
+    prefer_customer_algebra,
+    provider_customer_algebra,
+    valley_free_algebra,
+)
+from repro.exceptions import AlgebraError
+
+
+class TestTable2:
+    """Weight composition in the provider-customer algebra B1 (Table 2)."""
+
+    def setup_method(self):
+        self.b1 = provider_customer_algebra()
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (CUSTOMER, CUSTOMER, CUSTOMER),
+            (PROVIDER, CUSTOMER, PROVIDER),
+            (PROVIDER, PROVIDER, PROVIDER),
+        ],
+    )
+    def test_traversable_entries(self, left, right, expected):
+        assert self.b1.combine(left, right) == expected
+
+    def test_valley_is_phi(self):
+        assert is_phi(self.b1.combine(CUSTOMER, PROVIDER))
+
+    def test_all_traversable_paths_equal(self):
+        assert self.b1.eq(CUSTOMER, PROVIDER)
+
+    def test_right_associative(self):
+        assert self.b1.is_right_associative
+
+    def test_path_semantics_up_then_down(self):
+        # p* c* sequences are traversable ...
+        assert self.b1.combine_sequence([PROVIDER, PROVIDER, CUSTOMER, CUSTOMER]) == PROVIDER
+        # ... but any c before a p is a valley.
+        assert is_phi(self.b1.combine_sequence([PROVIDER, CUSTOMER, PROVIDER]))
+
+
+class TestTable3:
+    """Weight composition in valley-free routing (Table 3) for B2/B3."""
+
+    def setup_method(self):
+        self.b2 = valley_free_algebra()
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (CUSTOMER, CUSTOMER, CUSTOMER),
+            (PEER, CUSTOMER, PEER),
+            (PROVIDER, CUSTOMER, PROVIDER),
+            (PROVIDER, PEER, PROVIDER),
+            (PROVIDER, PROVIDER, PROVIDER),
+        ],
+    )
+    def test_traversable_entries(self, left, right, expected):
+        assert self.b2.combine(left, right) == expected
+
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            (CUSTOMER, PEER),
+            (CUSTOMER, PROVIDER),
+            (PEER, PEER),
+            (PEER, PROVIDER),
+        ],
+    )
+    def test_forbidden_entries(self, left, right):
+        assert is_phi(self.b2.combine(left, right))
+
+    def test_at_most_one_peer_arc(self):
+        # p r c is fine; p r r c is not.
+        assert self.b2.combine_sequence([PROVIDER, PEER, CUSTOMER]) == PROVIDER
+        assert is_phi(self.b2.combine_sequence([PROVIDER, PEER, PEER, CUSTOMER]))
+
+    def test_traversable_sequences_are_exactly_p_star_r_c_star(self):
+        import itertools
+
+        def reference_valley_free(seq):
+            # p* (r|eps) c*
+            i = 0
+            while i < len(seq) and seq[i] == PROVIDER:
+                i += 1
+            if i < len(seq) and seq[i] == PEER:
+                i += 1
+            while i < len(seq) and seq[i] == CUSTOMER:
+                i += 1
+            return i == len(seq)
+
+        for length in (1, 2, 3, 4):
+            for seq in itertools.product((CUSTOMER, PEER, PROVIDER), repeat=length):
+                traversable = not is_phi(self.b2.combine_sequence(list(seq)))
+                assert traversable == reference_valley_free(seq), seq
+
+
+class TestPreferences:
+    def test_b2_all_equal(self):
+        b2 = valley_free_algebra()
+        assert b2.eq(CUSTOMER, PEER) and b2.eq(PEER, PROVIDER)
+
+    def test_b3_prefers_customers(self):
+        b3 = prefer_customer_algebra()
+        assert b3.lt(CUSTOMER, PEER)
+        assert b3.lt(PEER, PROVIDER)
+        assert b3.lt(CUSTOMER, PROVIDER)
+
+    def test_b4_ties_broken_by_length(self):
+        b4 = bgp_full_algebra()
+        # same label: shorter preferred
+        assert b4.lt((CUSTOMER, 1), (CUSTOMER, 2))
+        # label dominates length
+        assert b4.lt((CUSTOMER, 9), (PROVIDER, 1))
+
+    def test_b4_combine(self):
+        b4 = bgp_full_algebra()
+        assert b4.combine((PROVIDER, 1), (CUSTOMER, 2)) == (PROVIDER, 3)
+        assert is_phi(b4.combine((CUSTOMER, 1), (PROVIDER, 1)))
+
+    def test_b4_is_right_associative(self):
+        assert bgp_full_algebra().is_right_associative
+
+
+class TestConstruction:
+    def test_reverse_labels(self):
+        assert REVERSE_LABEL[CUSTOMER] == PROVIDER
+        assert REVERSE_LABEL[PROVIDER] == CUSTOMER
+        assert REVERSE_LABEL[PEER] == PEER
+
+    def test_missing_table_entry_rejected(self):
+        with pytest.raises(AlgebraError):
+            BGPAlgebra("broken", ("a", "b"), {("a", "a"): "a"}, {"a": 0, "b": 0})
+
+    def test_missing_rank_rejected(self):
+        table = {(x, y): "a" for x in "ab" for y in "ab"}
+        with pytest.raises(AlgebraError):
+            BGPAlgebra("broken", ("a", "b"), table, {"a": 0})
+
+    def test_canonical_weights(self):
+        assert set(valley_free_algebra().canonical_weights()) == {
+            CUSTOMER, PEER, PROVIDER
+        }
+
+    def test_sampling(self):
+        b1 = provider_customer_algebra()
+        samples = b1.sample_weights(random.Random(0), 20)
+        assert set(samples) <= {CUSTOMER, PROVIDER}

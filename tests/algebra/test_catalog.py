@@ -1,0 +1,152 @@
+"""Tests for the Table 1 intra-domain algebras."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.base import is_phi
+from repro.algebra.catalog import (
+    MinHop,
+    MostReliablePath,
+    ShortestPath,
+    UsablePath,
+    WidestPath,
+)
+
+
+class TestShortestPath:
+    def setup_method(self):
+        self.algebra = ShortestPath(max_weight=10)
+
+    def test_combine_adds(self):
+        assert self.algebra.combine(3, 4) == 7
+
+    def test_prefers_smaller(self):
+        assert self.algebra.lt(3, 4)
+
+    def test_contains_positive_ints(self):
+        assert self.algebra.contains(1)
+        assert not self.algebra.contains(0)
+        assert not self.algebra.contains(-2)
+        assert not self.algebra.contains(1.5)
+        assert not self.algebra.contains(True)  # bools are not weights
+
+    def test_samples_in_range(self):
+        rng = random.Random(0)
+        samples = self.algebra.sample_weights(rng, 50)
+        assert len(samples) == 50
+        assert all(1 <= w <= 10 for w in samples)
+
+    def test_declared_matches_table1(self):
+        profile = self.algebra.declared_properties()
+        assert profile.strictly_monotone
+        assert profile.isotone
+        assert profile.delimited
+        assert not profile.selective
+        assert profile.regular
+
+    def test_rejects_bad_max_weight(self):
+        with pytest.raises(ValueError):
+            ShortestPath(max_weight=0)
+
+
+class TestMinHop:
+    def test_unit_weights(self):
+        algebra = MinHop()
+        assert algebra.sample_weights(random.Random(0), 5) == [1] * 5
+
+    def test_is_shortest_path_subclass(self):
+        assert isinstance(MinHop(), ShortestPath)
+
+
+class TestWidestPath:
+    def setup_method(self):
+        self.algebra = WidestPath(max_capacity=10)
+
+    def test_combine_is_bottleneck(self):
+        assert self.algebra.combine(3, 7) == 3
+
+    def test_prefers_larger(self):
+        assert self.algebra.lt(7, 3)
+
+    def test_selectivity_by_construction(self):
+        for a in range(1, 6):
+            for b in range(1, 6):
+                assert self.algebra.combine(a, b) in (a, b)
+
+    def test_declared_matches_table1(self):
+        profile = self.algebra.declared_properties()
+        assert profile.selective
+        assert profile.monotone
+        assert profile.isotone
+        assert not profile.strictly_monotone
+        assert profile.delimited
+
+
+class TestMostReliablePath:
+    def setup_method(self):
+        self.algebra = MostReliablePath(denominator=8)
+
+    def test_combine_multiplies(self):
+        assert self.algebra.combine(Fraction(1, 2), Fraction(1, 2)) == Fraction(1, 4)
+
+    def test_prefers_higher_reliability(self):
+        assert self.algebra.lt(Fraction(3, 4), Fraction(1, 2))
+
+    def test_contains_unit_interval(self):
+        assert self.algebra.contains(Fraction(1))
+        assert self.algebra.contains(Fraction(1, 8))
+        assert not self.algebra.contains(Fraction(0))
+        assert not self.algebra.contains(Fraction(9, 8))
+        assert not self.algebra.contains(0.5)  # floats are not exact weights
+
+    def test_samples_are_fractions(self):
+        samples = self.algebra.sample_weights(random.Random(0), 20)
+        assert all(isinstance(w, Fraction) for w in samples)
+        assert all(Fraction(0) < w <= Fraction(1) for w in samples)
+
+    def test_weight_one_breaks_strict_monotonicity(self):
+        # 1 * w = w, so SM fails at the boundary — this is why the algebra
+        # declares strictly_monotone=None and relies on Lemma 2's subalgebra.
+        assert self.algebra.eq(
+            self.algebra.combine(Fraction(1), Fraction(1, 2)), Fraction(1, 2)
+        )
+
+    def test_interior_subalgebra_is_strictly_monotone(self):
+        from repro.algebra.properties import check_strictly_monotone
+
+        interior = self.algebra.strictly_monotone_subalgebra()
+        result = check_strictly_monotone(interior, rng=random.Random(1))
+        assert result.holds
+
+    def test_interior_subalgebra_membership(self):
+        interior = self.algebra.strictly_monotone_subalgebra()
+        assert interior.contains(Fraction(1, 2))
+        assert not interior.contains(Fraction(1))
+
+
+class TestUsablePath:
+    def setup_method(self):
+        self.algebra = UsablePath()
+
+    def test_single_weight(self):
+        assert self.algebra.canonical_weights() == (1,)
+        assert self.algebra.combine(1, 1) == 1
+
+    def test_all_weights_equal(self):
+        assert self.algebra.eq(1, 1)
+        assert not self.algebra.lt(1, 1)
+
+    def test_phi_still_maximal(self):
+        from repro.algebra.base import PHI
+
+        assert self.algebra.lt(1, PHI)
+
+    def test_declared_profile_is_exhaustively_true(self):
+        from repro.algebra.properties import verified_profile
+
+        # verified_profile raises if any declared flag is contradicted by
+        # the exhaustive check over the singleton weight set.
+        profile = verified_profile(self.algebra)
+        assert profile.selective and profile.condensed and profile.cancellative

@@ -1,0 +1,98 @@
+"""Tests for n-ary lexicographic chains."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.catalog import MostReliablePath, ShortestPath, WidestPath
+from repro.algebra.lexicographic import (
+    chain_weight,
+    flatten_weight,
+    lexicographic_chain,
+)
+from repro.algebra.properties import check_axioms
+
+
+class TestChainConstruction:
+    def test_three_way_chain(self):
+        chain = lexicographic_chain(
+            ShortestPath(), WidestPath(), MostReliablePath(), name="s-w-r"
+        )
+        assert chain.name == "s-w-r"
+        w1 = chain_weight(2, 10, Fraction(1, 2))
+        w2 = chain_weight(3, 1, Fraction(1, 8))
+        combined = chain.combine(w1, w2)
+        assert flatten_weight(combined) == (5, 1, Fraction(1, 16))
+
+    def test_order_is_lexicographic(self):
+        chain = lexicographic_chain(ShortestPath(), WidestPath(), MostReliablePath())
+        low_cost = chain_weight(1, 1, Fraction(1, 8))
+        high_cost = chain_weight(9, 99, Fraction(1))
+        assert chain.lt(low_cost, high_cost)
+        # tie on cost -> decided by capacity
+        wide = chain_weight(5, 10, Fraction(1, 8))
+        narrow = chain_weight(5, 2, Fraction(1))
+        assert chain.lt(wide, narrow)
+        # tie on cost and capacity -> decided by reliability
+        reliable = chain_weight(5, 10, Fraction(1))
+        flaky = chain_weight(5, 10, Fraction(1, 2))
+        assert chain.lt(reliable, flaky)
+
+    def test_chain_weight_flatten_roundtrip(self):
+        w = chain_weight(1, 2, 3, 4)
+        assert w == (((1, 2), 3), 4)
+        assert flatten_weight(w) == (1, 2, 3, 4)
+
+    def test_needs_two_algebras(self):
+        with pytest.raises(ValueError):
+            lexicographic_chain(ShortestPath())
+        with pytest.raises(ValueError):
+            chain_weight(1)
+
+
+class TestChainProperties:
+    def test_proposition1_composes_through_nesting(self):
+        # SM head makes the whole chain SM; all parts isotone + head
+        # cancellative keeps the chain isotone.
+        chain = lexicographic_chain(ShortestPath(), WidestPath(), MostReliablePath())
+        profile = chain.declared_properties()
+        assert profile.strictly_monotone is True
+        assert profile.monotone is True
+        assert profile.delimited is True
+
+    def test_isotonicity_breaks_with_selective_head(self):
+        # W x S x R: the W head is not cancellative and S is not condensed,
+        # so isotonicity fails exactly as Proposition 1 predicts.
+        chain = lexicographic_chain(WidestPath(), ShortestPath(), MostReliablePath())
+        assert chain.declared_properties().isotone is False
+
+    def test_axioms_hold(self):
+        chain = lexicographic_chain(
+            ShortestPath(max_weight=9), WidestPath(max_capacity=9),
+            MostReliablePath(denominator=8),
+        )
+        for result in check_axioms(chain, rng=random.Random(0)):
+            assert result.holds, result.property_name
+
+    def test_sampling(self):
+        chain = lexicographic_chain(ShortestPath(), WidestPath(), MostReliablePath())
+        samples = chain.sample_weights(random.Random(1), 10)
+        assert all(chain.contains(w) for w in samples)
+
+
+class TestChainRouting:
+    def test_three_way_chain_routes_exactly(self):
+        """A regular 3-way chain is destination-table routable end to end."""
+        from repro.core import build_scheme, evaluate_scheme
+        from repro.graphs import assign_random_weights, erdos_renyi
+
+        chain = lexicographic_chain(
+            ShortestPath(max_weight=5), WidestPath(max_capacity=5),
+            MostReliablePath(denominator=4),
+        )
+        graph = erdos_renyi(12, rng=random.Random(2))
+        assign_random_weights(graph, chain, rng=random.Random(3))
+        scheme = build_scheme(graph, chain)
+        report = evaluate_scheme(graph, chain, scheme)
+        assert report.all_delivered and report.all_optimal

@@ -1,0 +1,112 @@
+"""Edge cases across the algebra layer: PHI plumbing, products of
+non-delimited algebras, degenerate weight sets."""
+
+import random
+
+import pytest
+
+from repro.algebra.base import PHI, is_phi
+from repro.algebra.bgp import (
+    CUSTOMER,
+    PROVIDER,
+    provider_customer_algebra,
+    valley_free_algebra,
+)
+from repro.algebra.catalog import ShortestPath, UsablePath, WidestPath
+from repro.algebra.lexicographic import LexicographicProduct
+from repro.algebra.properties import empirical_profile
+from repro.exceptions import AlgebraError
+
+
+class TestPhiPlumbingThroughProducts:
+    def test_product_with_non_delimited_component(self):
+        """B1 x S: the customer-provider valley poisons the whole pair."""
+        product = LexicographicProduct(provider_customer_algebra(), ShortestPath())
+        assert product.is_right_associative
+        assert is_phi(product.combine((CUSTOMER, 1), (PROVIDER, 2)))
+        assert product.combine((PROVIDER, 1), (CUSTOMER, 2)) == (PROVIDER, 3)
+
+    def test_product_profile_inherits_non_delimitedness(self):
+        product = LexicographicProduct(provider_customer_algebra(), ShortestPath())
+        assert product.declared_properties().delimited is False
+
+    def test_nested_product_phi(self):
+        inner = LexicographicProduct(provider_customer_algebra(), ShortestPath())
+        outer = LexicographicProduct(inner, WidestPath())
+        w1 = ((CUSTOMER, 1), 5)
+        w2 = ((PROVIDER, 1), 5)
+        assert is_phi(outer.combine(w1, w2))
+
+    def test_phi_in_min_weight_mixes(self):
+        s = ShortestPath()
+        assert s.min_weight([PHI, 3, PHI, 2]) == 2
+
+
+class TestDegenerateWeightSets:
+    def test_single_node_weight_domain(self):
+        u = UsablePath()
+        profile = empirical_profile(u)
+        # every universally quantified property holds on a singleton
+        assert profile.monotone and profile.isotone and profile.selective
+        assert not profile.strictly_monotone  # 1 ≺ 1 is false
+
+    def test_bgp_algebra_on_label_outside_domain(self):
+        b1 = provider_customer_algebra()
+        # unknown labels are untraversable, not errors
+        assert is_phi(b1.combine("r", CUSTOMER))
+        assert is_phi(b1.combine_sequence(["r"]))
+        assert is_phi(b1.combine_sequence([CUSTOMER, "r", CUSTOMER]))
+
+    def test_power_grows_through_products(self):
+        from repro.algebra.lexicographic import widest_shortest_path
+
+        ws = widest_shortest_path()
+        assert ws.power((3, 10), 4) == (12, 10)
+
+    def test_sample_weights_respect_bounds(self):
+        rng = random.Random(0)
+        tiny = ShortestPath(max_weight=1)
+        assert set(tiny.sample_weights(rng, 20)) == {1}
+
+
+class TestComparisonKeyContracts:
+    def test_key_is_total_on_samples(self):
+        algebra = valley_free_algebra()
+        key = algebra.comparison_key()
+        weights = list(algebra.canonical_weights())
+        ordered = sorted(weights, key=key)
+        # all ranks equal in B2: order must be stable (original order kept)
+        assert ordered == weights
+
+    def test_key_sorts_phi_last(self):
+        s = ShortestPath()
+        key = s.comparison_key()
+        assert sorted([PHI, 2, 1], key=key) == [1, 2, PHI]
+
+    def test_sorted_weights_is_stable_for_ties(self):
+        b2 = valley_free_algebra()
+        assert b2.sorted_weights(["p", "c", "r"]) == ["p", "c", "r"]
+
+
+class TestErrorPaths:
+    def test_combine_sequence_empty(self):
+        with pytest.raises(AlgebraError):
+            ShortestPath().combine_sequence([])
+
+    def test_path_weight_on_digraph_respects_direction(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_edge(0, 1, weight=CUSTOMER)
+        g.add_edge(1, 0, weight=PROVIDER)
+        b1 = provider_customer_algebra()
+        assert b1.path_weight(g, [0, 1]) == CUSTOMER
+        assert b1.path_weight(g, [1, 0]) == PROVIDER
+
+    def test_path_weight_missing_edge_is_phi_not_error(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=2)
+        g.add_node(5)
+        assert is_phi(ShortestPath().path_weight(g, [0, 5]))

@@ -1,0 +1,136 @@
+"""Tests for powers, cyclic subsemigroups and the Lemma 2 embedding."""
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.algebra.catalog import MostReliablePath, ShortestPath, WidestPath
+from repro.algebra.lexicographic import widest_shortest_path
+from repro.algebra.power import (
+    cyclic_subsemigroup,
+    embeds_shortest_path,
+    relabel_shortest_path_instance,
+)
+from repro.exceptions import AlgebraError
+
+
+class TestCyclicSubsemigroup:
+    def test_shortest_path_powers(self):
+        sub = cyclic_subsemigroup(ShortestPath(), 3, bound=5)
+        assert sub.elements == (3, 6, 9, 12, 15)
+        assert sub.infinite_up_to_bound
+
+    def test_widest_path_collapses_immediately(self):
+        sub = cyclic_subsemigroup(WidestPath(), 7, bound=5)
+        assert sub.elements == (7,)
+        assert not sub.infinite_up_to_bound
+
+    def test_reliability_powers(self):
+        sub = cyclic_subsemigroup(MostReliablePath(), Fraction(1, 2), bound=4)
+        assert sub.elements == (
+            Fraction(1, 2), Fraction(1, 4), Fraction(1, 8), Fraction(1, 16)
+        )
+        assert sub.infinite_up_to_bound
+
+    def test_bound_validation(self):
+        with pytest.raises(AlgebraError):
+            cyclic_subsemigroup(ShortestPath(), 1, bound=0)
+
+
+class TestEmbedding:
+    """Lemma 2: the order isomorphism f(n) = w^n onto (N, inf, +, <=)."""
+
+    def test_shortest_path_embeds_trivially(self):
+        assert embeds_shortest_path(ShortestPath(), 2, bound=16)
+
+    def test_reliability_embeds(self):
+        # The witness for R's incompressibility: any w in (0, 1) works.
+        assert embeds_shortest_path(MostReliablePath(), Fraction(1, 2), bound=16)
+
+    def test_widest_shortest_embeds(self):
+        # WS is SM + delimited: any weight generates an infinite chain.
+        assert embeds_shortest_path(widest_shortest_path(), (2, 5), bound=12)
+
+    def test_widest_path_does_not_embed(self):
+        # w ⊕ w = w: the cyclic subsemigroup has order 1.
+        assert not embeds_shortest_path(WidestPath(), 7, bound=8)
+
+    def test_usable_path_does_not_embed(self):
+        from repro.algebra.catalog import UsablePath
+
+        assert not embeds_shortest_path(UsablePath(), 1, bound=8)
+
+
+class TestRelabeling:
+    """The Lemma 2 reduction: integer-weighted shortest paths map onto
+    preferred paths of the host algebra."""
+
+    def _instance(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1)
+        graph.add_edge(1, 2, weight=1)
+        graph.add_edge(0, 2, weight=3)
+        graph.add_edge(2, 3, weight=2)
+        return graph
+
+    def test_reliability_reduction_preserves_preferred_paths(self):
+        from repro.paths.enumerate import preferred_by_enumeration
+
+        graph = self._instance()
+        algebra = MostReliablePath()
+        relabeled = relabel_shortest_path_instance(graph, algebra, Fraction(1, 2))
+        shortest = ShortestPath()
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s == t:
+                    continue
+                want = preferred_by_enumeration(graph, shortest, s, t)
+                got = preferred_by_enumeration(relabeled, algebra, s, t)
+                assert want.path == got.path, (s, t)
+
+    def test_relabel_values_are_powers(self):
+        graph = self._instance()
+        algebra = MostReliablePath()
+        relabeled = relabel_shortest_path_instance(graph, algebra, Fraction(1, 2))
+        assert relabeled[0][2]["weight"] == Fraction(1, 8)  # (1/2)^3
+
+    def test_original_graph_untouched(self):
+        graph = self._instance()
+        relabel_shortest_path_instance(graph, MostReliablePath(), Fraction(1, 2))
+        assert graph[0][2]["weight"] == 3
+
+    def test_rejects_non_integer_weights(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1.5)
+        with pytest.raises(AlgebraError):
+            relabel_shortest_path_instance(graph, MostReliablePath(), Fraction(1, 2))
+
+    def test_rejects_generator_collapsing_to_phi(self):
+        from repro.algebra.bgp import provider_customer_algebra
+        from repro.algebra.subalgebra import Subalgebra
+
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=2)
+        # In B1, c ⊕ c = c: never phi, but p... use a weight whose square
+        # is phi via a tiny custom algebra instead.
+        from repro.algebra.base import PHI, RoutingAlgebra
+
+        class SelfAnnihilating(RoutingAlgebra):
+            name = "self-annihilating"
+
+            def combine_finite(self, w1, w2):
+                return PHI
+
+            def leq_finite(self, w1, w2):
+                return True
+
+            def contains(self, weight):
+                return weight == "x"
+
+            def sample_weights(self, rng, count):
+                return ["x"] * count
+
+        with pytest.raises(AlgebraError):
+            relabel_shortest_path_instance(graph, SelfAnnihilating(), "x")

@@ -1,0 +1,181 @@
+"""Tests for the property checkers (Section 2.1, Definition 1)."""
+
+import random
+
+import pytest
+
+from repro.algebra.base import PHI, RoutingAlgebra
+from repro.algebra.catalog import (
+    MostReliablePath,
+    ShortestPath,
+    UsablePath,
+    WidestPath,
+)
+from repro.algebra.bgp import (
+    prefer_customer_algebra,
+    provider_customer_algebra,
+    valley_free_algebra,
+)
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.algebra.properties import (
+    PropertyProfile,
+    check_axioms,
+    check_condensed,
+    check_delimited,
+    check_isotone,
+    check_monotone,
+    check_selective,
+    check_strictly_monotone,
+    empirical_profile,
+    verified_profile,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+ALL_CATALOG = [
+    ShortestPath(),
+    WidestPath(),
+    MostReliablePath(),
+    UsablePath(),
+    widest_shortest_path(),
+    shortest_widest_path(),
+]
+
+
+class TestAxioms:
+    @pytest.mark.parametrize("algebra", ALL_CATALOG, ids=lambda a: a.name)
+    def test_catalog_algebras_satisfy_axioms(self, algebra, rng):
+        for result in check_axioms(algebra, rng=rng):
+            assert result.holds, f"{algebra.name}: {result.property_name} fails"
+
+    @pytest.mark.parametrize(
+        "algebra",
+        [provider_customer_algebra(), valley_free_algebra(), prefer_customer_algebra()],
+        ids=lambda a: a.name,
+    )
+    def test_bgp_algebras_satisfy_weakened_axioms(self, algebra, rng):
+        # Commutativity/associativity are waived for right-associative algebras.
+        results = check_axioms(algebra, rng=rng)
+        names = [r.property_name for r in results]
+        assert "commutativity" not in names
+        assert "associativity" not in names
+        for result in results:
+            assert result.holds, f"{algebra.name}: {result.property_name} fails"
+
+
+class TestEmpiricalVsDeclared:
+    """Table 1's property column, re-derived by measurement (E-id: Table 1)."""
+
+    @pytest.mark.parametrize("algebra", ALL_CATALOG, ids=lambda a: a.name)
+    def test_verified_profile_does_not_raise(self, algebra, rng):
+        verified_profile(algebra, rng=rng)
+
+    def test_shortest_path_profile(self, rng):
+        profile = empirical_profile(ShortestPath(), rng=rng)
+        assert profile.strictly_monotone and profile.isotone and profile.delimited
+        assert not profile.selective
+
+    def test_widest_path_profile(self, rng):
+        profile = empirical_profile(WidestPath(), rng=rng)
+        assert profile.selective and profile.monotone and profile.isotone
+        assert not profile.strictly_monotone
+
+    def test_shortest_widest_is_not_isotone(self, rng):
+        result = check_isotone(shortest_widest_path(), rng=rng, limit=3000)
+        assert not result.holds
+        assert result.witness is not None
+
+    def test_widest_shortest_is_isotone(self, rng):
+        assert check_isotone(widest_shortest_path(), rng=rng).holds
+
+    def test_bgp_b1_profile_is_exhaustive(self):
+        profile = empirical_profile(provider_customer_algebra())
+        assert profile.monotone
+        assert not profile.isotone
+        assert not profile.delimited
+        assert not profile.selective
+        assert not profile.strictly_monotone
+
+    def test_bgp_b3_not_condensed(self):
+        assert not check_condensed(prefer_customer_algebra()).holds
+
+
+class TestCheckResults:
+    def test_exhaustive_flag_for_finite_algebras(self):
+        result = check_monotone(provider_customer_algebra())
+        assert result.exhaustive
+
+    def test_sampled_flag_for_infinite_algebras(self, rng):
+        result = check_monotone(ShortestPath(), rng=rng)
+        assert not result.exhaustive
+
+    def test_counterexample_structure(self):
+        result = check_delimited(provider_customer_algebra())
+        assert not result.holds
+        w1, w2 = result.witness
+        algebra = provider_customer_algebra()
+        from repro.algebra.base import is_phi
+
+        assert is_phi(algebra.combine(w1, w2))
+
+    def test_bool_conversion(self, rng):
+        assert check_monotone(WidestPath(), rng=rng)
+        assert not check_strictly_monotone(WidestPath(), rng=rng)
+
+    def test_rng_required_for_sampled_checks(self):
+        with pytest.raises(ValueError):
+            check_monotone(ShortestPath())
+
+
+class TestVerifiedProfileCatchesLies:
+    def test_false_claim_raises(self, rng):
+        class Liar(WidestPath):
+            name = "liar"
+
+            def declared_properties(self):
+                profile = super().declared_properties()
+                from dataclasses import replace
+
+                return replace(profile, strictly_monotone=True)
+
+        with pytest.raises(AssertionError):
+            verified_profile(Liar(), rng=rng)
+
+    def test_false_negative_on_finite_algebra_raises(self):
+        class Denier(UsablePath):
+            name = "denier"
+
+            def declared_properties(self):
+                from dataclasses import replace
+
+                return replace(super().declared_properties(), selective=False)
+
+        with pytest.raises(AssertionError):
+            verified_profile(Denier())
+
+
+class TestPropertyProfile:
+    def test_regular_derivation(self):
+        assert PropertyProfile(monotone=True, isotone=True).regular is True
+        assert PropertyProfile(monotone=True, isotone=False).regular is False
+        assert PropertyProfile(monotone=True).regular is None
+        assert PropertyProfile(isotone=False).regular is False
+
+    def test_merged_with_fills_unknowns(self):
+        declared = PropertyProfile(monotone=True)
+        measured = PropertyProfile(monotone=False, selective=True)
+        merged = declared.merged_with(measured)
+        assert merged.monotone is True  # declared wins
+        assert merged.selective is True  # unknown filled
+
+    def test_summary_format(self):
+        profile = PropertyProfile(
+            strictly_monotone=True, monotone=True, isotone=True, delimited=True
+        )
+        assert profile.summary() == "SM, I, D"
+        profile = PropertyProfile(monotone=True, isotone=False, selective=True)
+        assert profile.summary() == "M, ¬I, S"

@@ -1,0 +1,109 @@
+"""Tests for subalgebras (Section 2.2) and property emergence."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.base import PHI, RoutingAlgebra
+from repro.algebra.catalog import MostReliablePath, ShortestPath, WidestPath
+from repro.algebra.properties import (
+    check_monotone,
+    check_strictly_monotone,
+    empirical_profile,
+)
+from repro.algebra.subalgebra import PredicateSubalgebra, Subalgebra
+from repro.exceptions import AlgebraError
+
+
+class WeaklyMonotoneShortestPath(ShortestPath):
+    """``(N ∪ {0}, inf, +, <=)`` — the paper's Section 2.2 example root."""
+
+    name = "weak-shortest-path"
+
+    def contains(self, weight):
+        return isinstance(weight, int) and not isinstance(weight, bool) and weight >= 0
+
+    def sample_weights(self, rng, count):
+        return [rng.randint(0, self.max_weight) for _ in range(count)]
+
+
+class TestSubalgebra:
+    def test_closure_accepted(self):
+        widest = WidestPath()
+        sub = Subalgebra(widest, [1, 2, 3])
+        assert sub.canonical_weights() == (1, 2, 3)
+
+    def test_closure_violation_rejected(self):
+        shortest = ShortestPath()
+        with pytest.raises(AlgebraError):
+            Subalgebra(shortest, [1, 2])  # 1 + 2 = 3 escapes
+
+    def test_nonmember_weight_rejected(self):
+        with pytest.raises(AlgebraError):
+            Subalgebra(ShortestPath(), [0])
+
+    def test_empty_weight_set_rejected(self):
+        with pytest.raises(AlgebraError):
+            Subalgebra(ShortestPath(), [])
+
+    def test_operations_delegate_to_parent(self):
+        sub = Subalgebra(WidestPath(), [2, 5])
+        assert sub.combine(2, 5) == 2
+        assert sub.lt(5, 2)
+
+    def test_sampling_stays_inside(self):
+        sub = Subalgebra(WidestPath(), [2, 5])
+        samples = sub.sample_weights(random.Random(0), 30)
+        assert set(samples) <= {2, 5}
+
+    def test_phi_escape_is_legal_for_nondelimited_parents(self):
+        from repro.algebra.bgp import provider_customer_algebra
+
+        # c ⊕ p = phi; the subalgebra on {c, p} is simply non-delimited.
+        sub = Subalgebra(provider_customer_algebra(), ["c", "p"])
+        from repro.algebra.base import is_phi
+
+        assert is_phi(sub.combine("c", "p"))
+
+
+class TestPropertyEmergence:
+    """The paper's example: SM emerges when 0 is removed from weak S."""
+
+    def test_weak_algebra_is_not_strictly_monotone(self):
+        rng = random.Random(1)
+        weak = WeaklyMonotoneShortestPath()
+        assert check_monotone(weak, rng=rng).holds
+        assert not check_strictly_monotone(weak, rng=rng, limit=2000).holds
+
+    def test_positive_subalgebra_is_strictly_monotone(self):
+        rng = random.Random(1)
+        weak = WeaklyMonotoneShortestPath()
+        positive = PredicateSubalgebra(
+            weak,
+            predicate=lambda w: w >= 1,
+            sampler=lambda r: r.randint(1, 50),
+            name="positive-shortest",
+        )
+        assert check_strictly_monotone(positive, rng=rng).holds
+
+
+class TestPredicateSubalgebra:
+    def setup_method(self):
+        reliable = MostReliablePath(denominator=16)
+        self.interior = reliable.strictly_monotone_subalgebra()
+
+    def test_membership(self):
+        assert self.interior.contains(Fraction(1, 2))
+        assert not self.interior.contains(Fraction(1))
+        assert not self.interior.contains(Fraction(0))
+
+    def test_sampler(self):
+        samples = self.interior.sample_weights(random.Random(2), 40)
+        assert all(Fraction(0) < w < Fraction(1) for w in samples)
+
+    def test_profile_is_delimited_and_sm(self):
+        profile = empirical_profile(self.interior, rng=random.Random(3))
+        assert profile.delimited
+        assert profile.strictly_monotone
+        assert profile.monotone and profile.isotone

@@ -1,0 +1,125 @@
+"""Tests for the theorem-driven classifier — Table 1 regenerated."""
+
+import random
+
+import pytest
+
+from repro.algebra.catalog import (
+    MostReliablePath,
+    ShortestPath,
+    UsablePath,
+    WidestPath,
+)
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.algebra.properties import PropertyProfile
+from repro.core.classify import MemoryClass, classify, classify_profile
+
+
+class TestTable1Rows:
+    """Each row of Table 1, reproduced by the classifier."""
+
+    def test_shortest_path_theta_n(self):
+        c = classify(ShortestPath())
+        assert c.compressible is False
+        assert c.memory_class is MemoryClass.LINEAR
+        assert c.stretch3_scheme_exists is True
+
+    def test_widest_path_theta_log_n(self):
+        c = classify(WidestPath())
+        assert c.compressible is True
+        assert c.memory_class is MemoryClass.LOGARITHMIC
+        assert c.finite_stretch_impossible is False
+
+    def test_most_reliable_needs_lemma2_witness(self):
+        # R itself declares SM unknown (weight 1 breaks it); Lemma 2's
+        # subalgebra witness settles incompressibility.
+        plain = classify(MostReliablePath())
+        assert plain.compressible is None
+        witnessed = classify(MostReliablePath(), sm_subalgebra_witness=True)
+        assert witnessed.compressible is False
+        assert witnessed.memory_class is MemoryClass.LINEAR
+
+    def test_usable_path_theta_log_n(self):
+        c = classify(UsablePath())
+        assert c.compressible is True
+        assert c.memory_class is MemoryClass.LOGARITHMIC
+
+    def test_widest_shortest_theta_n(self):
+        c = classify(widest_shortest_path())
+        assert c.compressible is False
+        assert c.memory_class is MemoryClass.LINEAR
+        assert c.stretch3_scheme_exists is True
+
+    def test_shortest_widest_omega_n(self):
+        c = classify(shortest_widest_path())
+        assert c.compressible is False
+        assert c.memory_class is MemoryClass.LINEAR_LOWER_ONLY
+        assert c.stretch3_scheme_exists is None  # Thm 3 sufficiency fails
+
+    def test_shortest_widest_with_condition1_witness(self):
+        c = classify(shortest_widest_path(), condition1_witness=True)
+        assert c.finite_stretch_impossible is True
+
+
+class TestDecisionTree:
+    def test_theorem1_branch(self):
+        profile = PropertyProfile(selective=True, monotone=True, isotone=True,
+                                  delimited=True)
+        c = classify_profile(profile)
+        assert c.compressible is True
+        assert any("Theorem 1" in r for r in c.reasons)
+
+    def test_theorem2_branch(self):
+        profile = PropertyProfile(strictly_monotone=True, monotone=True,
+                                  isotone=True, delimited=True)
+        c = classify_profile(profile)
+        assert c.compressible is False
+        assert any("Theorem 2" in r for r in c.reasons)
+
+    def test_lemma2_branch(self):
+        profile = PropertyProfile(monotone=True, isotone=True, delimited=True,
+                                  strictly_monotone=False)
+        c = classify_profile(profile, sm_subalgebra_witness=True)
+        assert c.compressible is False
+        assert any("Lemma 2" in r for r in c.reasons)
+
+    def test_open_cases_stay_open(self):
+        """Section 6: necessary conditions are open — the classifier must
+        not invent an answer for, e.g., monotone non-selective non-SM."""
+        profile = PropertyProfile(monotone=True, isotone=True,
+                                  strictly_monotone=False, selective=False,
+                                  delimited=True)
+        c = classify_profile(profile)
+        assert c.compressible is None
+        assert c.memory_class is MemoryClass.UNKNOWN
+
+    def test_selective_algebras_have_moot_stretch(self):
+        profile = PropertyProfile(selective=True, monotone=True, isotone=True,
+                                  delimited=True)
+        c = classify_profile(profile)
+        assert c.finite_stretch_impossible is False
+
+    def test_condition1_dominates(self):
+        profile = PropertyProfile(monotone=True, isotone=False, delimited=True,
+                                  strictly_monotone=False, selective=False)
+        c = classify_profile(profile, condition1_witness=True)
+        assert c.compressible is False
+        assert c.finite_stretch_impossible is True
+
+    def test_empirical_merge(self):
+        """Undeclared flags can be filled by measurement."""
+
+        class Mystery(WidestPath):
+            name = "mystery"
+
+            def declared_properties(self):
+                return PropertyProfile()  # declares nothing
+
+        c = classify(Mystery(), rng=random.Random(0), verify_empirically=True)
+        assert c.compressible is True
+        assert c.memory_class is MemoryClass.LOGARITHMIC
+
+    def test_summary_text(self):
+        c = classify(ShortestPath())
+        text = c.summary()
+        assert "shortest-path" in text and "incompressible" in text

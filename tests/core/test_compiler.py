@@ -1,0 +1,128 @@
+"""Tests for the scheme compiler."""
+
+import random
+
+import pytest
+
+from repro.algebra.catalog import MostReliablePath, ShortestPath, UsablePath, WidestPath
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.algebra.bgp import (
+    prefer_customer_algebra,
+    provider_customer_algebra,
+    valley_free_algebra,
+)
+from repro.core.compiler import build_scheme
+from repro.exceptions import NotApplicableError
+from repro.graphs.bgp_topologies import coned_as_topology, provider_tree_topology
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weighting import assign_random_weights
+from repro.routing.bgp_schemes import B1TreeScheme, B2ConeScheme
+from repro.routing.cowen import CowenScheme
+from repro.routing.destination_table import DestinationTableScheme
+from repro.routing.pair_table import PairTableScheme
+from repro.routing.tree_routing import TreeRoutingScheme
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(12, p=0.35, rng=random.Random(0))
+
+
+class TestSchemeSelection:
+    def test_selective_gets_tree_routing(self, graph):
+        algebra = WidestPath()
+        assign_random_weights(graph, algebra, rng=random.Random(1))
+        assert isinstance(build_scheme(graph, algebra), TreeRoutingScheme)
+
+    def test_usable_gets_tree_routing(self, graph):
+        algebra = UsablePath()
+        assign_random_weights(graph, algebra, rng=random.Random(1))
+        assert isinstance(build_scheme(graph, algebra), TreeRoutingScheme)
+
+    @pytest.mark.parametrize(
+        "algebra",
+        [ShortestPath(), MostReliablePath(), widest_shortest_path()],
+        ids=lambda a: a.name,
+    )
+    def test_regular_gets_destination_tables(self, graph, algebra):
+        assign_random_weights(graph, algebra, rng=random.Random(2))
+        assert isinstance(build_scheme(graph, algebra), DestinationTableScheme)
+
+    def test_compact_mode_gets_cowen(self, graph):
+        algebra = ShortestPath()
+        assign_random_weights(graph, algebra, rng=random.Random(3))
+        scheme = build_scheme(graph, algebra, mode="compact", rng=random.Random(4))
+        assert isinstance(scheme, CowenScheme)
+
+    def test_non_isotone_gets_pair_tables(self, graph):
+        algebra = shortest_widest_path()
+        assign_random_weights(graph, algebra, rng=random.Random(5))
+        assert isinstance(build_scheme(graph, algebra), PairTableScheme)
+
+    def test_b1_gets_provider_tree(self):
+        digraph = provider_tree_topology(12, rng=random.Random(6))
+        scheme = build_scheme(digraph, provider_customer_algebra())
+        assert isinstance(scheme, B1TreeScheme)
+
+    def test_b2_gets_cone_scheme(self):
+        digraph = coned_as_topology(2, 2, 3, rng=random.Random(7))
+        scheme = build_scheme(digraph, valley_free_algebra())
+        assert isinstance(scheme, B2ConeScheme)
+
+    def test_b2_without_peers_degrades_to_b1_tree(self):
+        digraph = provider_tree_topology(10, rng=random.Random(8))
+        scheme = build_scheme(digraph, valley_free_algebra())
+        assert isinstance(scheme, B1TreeScheme)
+
+
+class TestRankedBGP:
+    def test_b3_gets_the_linear_rib(self):
+        from repro.routing.bgp_rib import RIBScheme
+
+        digraph = coned_as_topology(2, 2, 3, rng=random.Random(9))
+        scheme = build_scheme(digraph, prefer_customer_algebra())
+        assert isinstance(scheme, RIBScheme)
+
+    def test_b3_compact_refused_per_theorem8(self):
+        digraph = coned_as_topology(2, 2, 3, rng=random.Random(9))
+        with pytest.raises(NotApplicableError, match="Theorem 8"):
+            build_scheme(digraph, prefer_customer_algebra(), mode="compact")
+
+
+class TestRefusals:
+
+    def test_unknown_mode(self, graph):
+        algebra = ShortestPath()
+        assign_random_weights(graph, algebra, rng=random.Random(10))
+        with pytest.raises(NotApplicableError):
+            build_scheme(graph, algebra, mode="telepathy")
+
+    def test_compact_mode_requires_delimited(self, graph):
+        from repro.algebra.properties import PropertyProfile
+
+        class RegularButNotDelimited(ShortestPath):
+            name = "regular-not-delimited"
+
+            def declared_properties(self):
+                from dataclasses import replace
+
+                return replace(super().declared_properties(), delimited=False)
+
+        algebra = RegularButNotDelimited()
+        assign_random_weights(graph, algebra, rng=random.Random(11))
+        with pytest.raises(NotApplicableError):
+            build_scheme(graph, algebra, mode="compact")
+
+    def test_profile_without_any_scheme(self, graph):
+        from repro.algebra.properties import PropertyProfile
+
+        class Weird(ShortestPath):
+            name = "weird"
+
+            def declared_properties(self):
+                return PropertyProfile()  # nothing known
+
+        algebra = Weird()
+        assign_random_weights(graph, algebra, rng=random.Random(12))
+        with pytest.raises(NotApplicableError):
+            build_scheme(graph, algebra)

@@ -1,0 +1,86 @@
+"""Tests for the automated witness-searching investigation."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.catalog import (
+    MostReliablePath,
+    ShortestPath,
+    UsablePath,
+    WidestPath,
+)
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.core.classify import MemoryClass
+from repro.core.investigate import find_lemma2_generator, investigate
+
+
+class TestLemma2GeneratorSearch:
+    def test_finds_generator_in_shortest_path(self):
+        generator = find_lemma2_generator(ShortestPath(), rng=random.Random(0))
+        assert generator is not None and generator >= 1
+
+    def test_finds_interior_generator_in_reliability(self):
+        generator = find_lemma2_generator(MostReliablePath(), rng=random.Random(1))
+        assert generator is not None
+        assert Fraction(0) < generator < Fraction(1)  # weight 1 cannot embed
+
+    def test_no_generator_in_selective_algebras(self):
+        assert find_lemma2_generator(WidestPath(), rng=random.Random(2)) is None
+        assert find_lemma2_generator(UsablePath()) is None
+
+
+class TestInvestigate:
+    def test_reliability_settled_incompressible(self):
+        result = investigate(MostReliablePath(), rng=random.Random(3))
+        assert result.classification.compressible is False
+        assert result.classification.memory_class is MemoryClass.LINEAR
+
+    def test_sw_gets_both_verdicts_automatically(self):
+        """investigate() finds the condition (1) witness on its own, turning
+        'no finite stretch' from None into True."""
+        result = investigate(shortest_widest_path(), rng=random.Random(4))
+        assert result.classification.compressible is False
+        assert result.condition1_witness is not None
+        assert result.classification.finite_stretch_impossible is True
+
+    def test_selective_stays_compressible(self):
+        result = investigate(WidestPath(), rng=random.Random(5))
+        assert result.classification.compressible is True
+        assert result.lemma2_generator is None
+        assert result.condition1_witness is None
+
+    def test_regular_never_searches_condition1(self):
+        # isotone algebras skip the (futile, k>=2-impossible) search
+        result = investigate(widest_shortest_path(), rng=random.Random(6))
+        assert result.condition1_witness is None
+        assert result.classification.compressible is False
+
+    def test_summary_mentions_witnesses(self):
+        result = investigate(shortest_widest_path(), rng=random.Random(7))
+        assert "Theorem 4 witness" in result.summary()
+
+    def test_weakly_monotone_custom_algebra_settled(self):
+        """The Section 2.2 example: N ∪ {0} under + is not SM as a whole,
+        but the sampled generator search finds the embedded copy of N."""
+        from repro.algebra.properties import PropertyProfile
+
+        class WeakShortest(ShortestPath):
+            name = "weak-shortest"
+
+            def contains(self, weight):
+                return isinstance(weight, int) and weight >= 0
+
+            def sample_weights(self, rng, count):
+                return [rng.randint(0, self.max_weight) for _ in range(count)]
+
+            def declared_properties(self):
+                return PropertyProfile(
+                    monotone=True, isotone=True, strictly_monotone=False,
+                    selective=False, delimited=True,
+                )
+
+        result = investigate(WeakShortest(), rng=random.Random(8))
+        assert result.lemma2_generator is not None
+        assert result.classification.compressible is False

@@ -1,0 +1,96 @@
+"""Tests for scaling-law estimation."""
+
+import math
+
+import pytest
+
+from repro.core.scaling import (
+    fit_scaling,
+    is_sublinear,
+    is_superlogarithmic,
+    loglog_slope,
+)
+
+
+NS = [32, 64, 128, 256, 512]
+
+
+class TestFitScaling:
+    def test_recovers_linear(self):
+        fit = fit_scaling(NS, [7 * n for n in NS])
+        assert fit.best_model == "n"
+        assert fit.r_squared > 0.999
+        assert abs(fit.loglog_slope - 1.0) < 0.05
+
+    def test_recovers_logarithmic(self):
+        fit = fit_scaling(NS, [12 * math.log2(n) + 5 for n in NS])
+        assert fit.best_model == "log n"
+        assert fit.loglog_slope < 0.5
+
+    def test_recovers_quadratic(self):
+        fit = fit_scaling(NS, [0.5 * n * n for n in NS])
+        assert fit.best_model == "n^2"
+        assert abs(fit.loglog_slope - 2.0) < 0.05
+
+    def test_recovers_sqrt(self):
+        fit = fit_scaling(NS, [20 * math.sqrt(n) for n in NS])
+        assert fit.best_model == "sqrt n"
+        assert abs(fit.loglog_slope - 0.5) < 0.05
+
+    def test_recovers_two_thirds(self):
+        fit = fit_scaling(NS, [9 * n ** (2 / 3) for n in NS])
+        assert fit.best_model == "n^(2/3)"
+
+    def test_noise_tolerance(self):
+        import random
+
+        rng = random.Random(0)
+        noisy = [7 * n * (1 + 0.05 * (rng.random() - 0.5)) for n in NS]
+        fit = fit_scaling(NS, noisy)
+        assert fit.best_model in ("n", "n log n")
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            fit_scaling([10, 20], [1, 2])
+
+    def test_per_model_scores_present(self):
+        fit = fit_scaling(NS, [7 * n for n in NS])
+        assert set(fit.per_model_r2) >= {"log n", "n", "n^2"}
+
+    def test_summary(self):
+        fit = fit_scaling(NS, [7 * n for n in NS])
+        assert "best fit n" in fit.summary()
+
+
+class TestVerdicts:
+    def test_linear_series_not_sublinear(self):
+        assert not is_sublinear(NS, [7 * n for n in NS])
+        assert is_superlogarithmic(NS, [7 * n for n in NS])
+
+    def test_log_series_sublinear(self):
+        series = [12 * math.log2(n) for n in NS]
+        assert is_sublinear(NS, series)
+        assert not is_superlogarithmic(NS, series)
+
+    def test_sqrt_series_is_both(self):
+        """Compact schemes: sublinear but clearly more than logarithmic."""
+        series = [20 * math.sqrt(n) for n in NS]
+        assert is_sublinear(NS, series)
+        assert is_superlogarithmic(NS, series, slack=0.35)
+
+    def test_slope_accuracy(self):
+        assert abs(loglog_slope(NS, [n ** 1.5 for n in NS]) - 1.5) < 0.02
+
+
+class TestOccamPreference:
+    def test_noisy_log_series_still_reported_as_log(self):
+        """Measured log-class series are slightly convex (ceil() jumps in
+        the port-bit term); the Occam tie-break must still call them log."""
+        fit = fit_scaling([32, 64, 128], [31, 35, 41])
+        assert fit.best_model == "log n"
+
+    def test_true_polynomials_not_misreported(self):
+        fit = fit_scaling(NS, [9 * n ** (2 / 3) for n in NS])
+        assert fit.best_model == "n^(2/3)"
+        fit = fit_scaling(NS, [3 * n for n in NS])
+        assert fit.best_model == "n"

@@ -1,0 +1,130 @@
+"""Tests for workload generation and the analysis helpers."""
+
+import random
+
+import pytest
+
+from repro.algebra.catalog import ShortestPath, WidestPath
+from repro.core.analysis import (
+    cluster_statistics,
+    stretch_histogram,
+    summarize,
+    text_histogram,
+)
+from repro.core.workload import gravity_pairs, stub_pairs, stubs, uniform_pairs
+from repro.exceptions import GraphError
+from repro.graphs.bgp_topologies import coned_as_topology
+from repro.graphs.generators import barabasi_albert, erdos_renyi, ring
+from repro.graphs.weighting import assign_random_weights
+
+
+class TestUniformPairs:
+    def test_count_and_distinctness(self):
+        graph = ring(10)
+        pairs = uniform_pairs(graph, 20, rng=random.Random(0))
+        assert len(pairs) == 20
+        assert len(set(pairs)) == 20
+        assert all(s != t for s, t in pairs)
+
+    def test_caps_at_total(self):
+        graph = ring(4)
+        assert len(uniform_pairs(graph, 999, rng=random.Random(1))) == 12
+
+    def test_deterministic(self):
+        graph = ring(8)
+        a = uniform_pairs(graph, 10, rng=random.Random(2))
+        b = uniform_pairs(graph, 10, rng=random.Random(2))
+        assert a == b
+
+    def test_too_small_graph(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(GraphError):
+            uniform_pairs(g, 1)
+
+
+class TestGravityPairs:
+    def test_hubs_dominate(self):
+        graph = barabasi_albert(60, m=2, rng=random.Random(3))
+        pairs = gravity_pairs(graph, 300, rng=random.Random(4))
+        hub = max(graph.nodes(), key=graph.degree)
+        hub_mass = sum(1 for s, t in pairs if hub in (s, t))
+        leaf = min(graph.nodes(), key=graph.degree)
+        leaf_mass = sum(1 for s, t in pairs if leaf in (s, t))
+        assert hub_mass > leaf_mass
+
+    def test_distinct_pairs(self):
+        graph = erdos_renyi(12, rng=random.Random(5))
+        pairs = gravity_pairs(graph, 30, rng=random.Random(6))
+        assert len(pairs) == len(set(pairs)) == 30
+
+
+class TestStubPairs:
+    def test_stub_detection(self):
+        graph = coned_as_topology(2, 2, 3, rng=random.Random(7))
+        leaves = stubs(graph)
+        # stubs have no customer arcs
+        from repro.algebra.bgp import CUSTOMER
+
+        for leaf in leaves:
+            assert all(
+                data["weight"] != CUSTOMER
+                for _, _, data in graph.out_edges(leaf, data=True)
+            )
+
+    def test_pairs_between_stubs_only(self):
+        graph = coned_as_topology(2, 2, 3, rng=random.Random(8))
+        leaves = set(stubs(graph))
+        pairs = stub_pairs(graph, 10, rng=random.Random(9))
+        assert all(s in leaves and t in leaves for s, t in pairs)
+
+    def test_evaluation_with_stub_workload(self):
+        from repro.algebra.bgp import valley_free_algebra
+        from repro.core.compiler import build_scheme
+        from repro.core.simulate import evaluate_scheme
+
+        graph = coned_as_topology(2, 2, 4, rng=random.Random(10))
+        algebra = valley_free_algebra()
+        scheme = build_scheme(graph, algebra)
+        pairs = stub_pairs(graph, 12, rng=random.Random(11))
+        report = evaluate_scheme(graph, algebra, scheme, pairs=pairs)
+        assert report.all_delivered
+
+
+class TestAnalysis:
+    def test_stretch_histogram(self):
+        algebra = ShortestPath()
+        samples = [(4, 4), (4, 8), (4, 8), (4, 100)]
+        histogram = stretch_histogram(algebra, samples, max_k=8)
+        assert histogram == {1: 1, 2: 2, None: 1}
+
+    def test_summarize(self):
+        stats = summarize([3, 1, 2, 2])
+        assert stats.minimum == 1 and stats.maximum == 3
+        assert stats.median == 2
+        assert stats.total == 8
+        assert "count=4" in stats.summary()
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_cluster_statistics(self):
+        from repro.routing.cowen import CowenScheme
+
+        algebra = ShortestPath(max_weight=9)
+        graph = erdos_renyi(16, rng=random.Random(12))
+        assign_random_weights(graph, algebra, rng=random.Random(13))
+        scheme = CowenScheme(graph, algebra, rng=random.Random(14))
+        stats = cluster_statistics(scheme)
+        assert stats.count == 16
+        assert stats.maximum >= stats.minimum >= 0
+
+    def test_text_histogram(self):
+        lines = text_histogram({1: 10, 2: 5, None: 1})
+        assert len(lines) == 3
+        assert lines[0].startswith("     1 |")
+        assert lines[-1].startswith("     > |")  # the beyond-max bucket
+        assert text_histogram({}) == ["(empty)"]

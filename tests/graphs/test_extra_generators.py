@@ -1,0 +1,94 @@
+"""Tests for the Waxman and fat-tree generators."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators import fat_tree, waxman
+
+
+class TestWaxman:
+    def test_connected_and_sized(self):
+        for seed in range(4):
+            g = waxman(40, rng=random.Random(seed))
+            assert g.number_of_nodes() == 40
+            assert nx.is_connected(g)
+
+    def test_positions_stored(self):
+        g = waxman(10, rng=random.Random(1))
+        for node in g.nodes():
+            x, y = g.nodes[node]["pos"]
+            assert 0 <= x <= 1 and 0 <= y <= 1
+
+    def test_deterministic(self):
+        a = waxman(25, rng=random.Random(2))
+        b = waxman(25, rng=random.Random(2))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_beta_scales_density(self):
+        sparse = waxman(40, beta=0.1, rng=random.Random(3), connect=False)
+        dense = waxman(40, beta=0.9, rng=random.Random(3), connect=False)
+        assert dense.number_of_edges() > sparse.number_of_edges()
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            waxman(10, alpha=0.0)
+        with pytest.raises(GraphError):
+            waxman(10, beta=1.5)
+        with pytest.raises(GraphError):
+            waxman(1)
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_node_count(self, k):
+        g = fat_tree(k)
+        assert g.number_of_nodes() == 5 * k * k // 4
+        assert nx.is_connected(g)
+
+    def test_layer_structure(self, k=4):
+        g = fat_tree(k)
+        layers = {"core": 0, "aggregation": 0, "edge": 0}
+        for node in g.nodes():
+            layers[g.nodes[node]["layer"]] += 1
+        assert layers["core"] == (k // 2) ** 2
+        assert layers["aggregation"] == k * (k // 2)
+        assert layers["edge"] == k * (k // 2)
+
+    def test_degrees(self, k=4):
+        g = fat_tree(k)
+        for node in g.nodes():
+            layer = g.nodes[node]["layer"]
+            if layer == "core":
+                assert g.degree(node) == k  # one aggregation per pod
+            elif layer == "aggregation":
+                assert g.degree(node) == k  # k/2 edges down + k/2 cores up
+            else:
+                assert g.degree(node) == k // 2  # edge: k/2 aggregation up
+
+    def test_edge_switches_have_two_hop_paths_within_pod(self):
+        g = fat_tree(4)
+        edges_pod0 = [v for v in g.nodes()
+                      if g.nodes[v]["layer"] == "edge" and g.nodes[v]["pod"] == 0]
+        assert nx.shortest_path_length(g, edges_pod0[0], edges_pod0[1]) == 2
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(GraphError):
+            fat_tree(3)
+
+    def test_path_diversity_for_widest_path_routing(self):
+        """Fat-trees are the multipath case: widest-path tree routing still
+        finds a preferred spanning tree (Theorem 1 is topology-agnostic)."""
+        from repro.algebra.catalog import WidestPath
+        from repro.graphs.weighting import assign_random_weights
+        from repro.routing.tree_routing import TreeRoutingScheme
+
+        algebra = WidestPath(max_capacity=40)
+        g = fat_tree(4)
+        assign_random_weights(g, algebra, rng=random.Random(4))
+        scheme = TreeRoutingScheme(g, algebra)
+        nodes = sorted(g.nodes())
+        for s, t in [(nodes[0], nodes[-1]), (nodes[3], nodes[10])]:
+            assert scheme.route(s, t).delivered

@@ -1,0 +1,71 @@
+"""Tests for the Fig. 1 counterexample graphs (Lemma 1's only-if direction)."""
+
+import pytest
+
+from repro.algebra.base import RoutingAlgebra
+from repro.algebra.catalog import ShortestPath
+from repro.graphs.fig1 import fig1a, fig1b, fig1c
+from repro.paths.enumerate import preferred_by_enumeration
+
+
+class TestStructure:
+    def test_fig1a_triangle(self):
+        g = fig1a(5)
+        assert sorted(g.nodes()) == [1, 2, 3]
+        assert g.number_of_edges() == 3
+        assert all(data["weight"] == 5 for _, _, data in g.edges(data=True))
+
+    def test_fig1b_weights(self):
+        g = fig1b(1, 4)
+        assert g[1][2]["weight"] == 1
+        assert g[2][3]["weight"] == 4
+        assert g[1][3]["weight"] == 4
+
+    def test_fig1c_alternating_cycle(self):
+        g = fig1c("a", "b")
+        assert sorted(g.nodes()) == [1, 2, 3, 4]
+        assert g.number_of_edges() == 4
+        assert not g.has_edge(1, 4)
+        assert not g.has_edge(2, 3)
+        weights = [g[1][2]["weight"], g[2][4]["weight"], g[4][3]["weight"], g[3][1]["weight"]]
+        assert weights == ["a", "b", "a", "b"]
+
+
+class TestCounterexampleSemantics:
+    """The preferred paths really are the direct edges (shortest path is a
+    convenient delimited non-selective algebra exhibiting all three cases)."""
+
+    def test_fig1a_preferred_paths_are_direct_edges(self):
+        # w ⊕ w = 2w ≻ w: auto-selectivity violated for any w >= 1.
+        g = fig1a(3)
+        algebra = ShortestPath()
+        for s, t in [(1, 2), (2, 3), (1, 3)]:
+            found = preferred_by_enumeration(g, algebra, s, t)
+            assert found.path == (s, t)
+
+    def test_fig1b_preferred_paths_are_direct_edges(self):
+        # w1 = 1 ≺ w2 = 4, and w1 ⊕ w2 = 5 ≻ w2.
+        g = fig1b(1, 4)
+        algebra = ShortestPath()
+        for s, t in [(1, 2), (2, 3), (1, 3)]:
+            assert preferred_by_enumeration(g, algebra, s, t).path == (s, t)
+
+    def test_fig1c_adjacent_direct_diagonal_two_hop(self):
+        # w1 = w2 = 2 (equal preference), w1 ⊕ w2 = 4 ≻ 2.
+        g = fig1c(2, 2)
+        algebra = ShortestPath()
+        for s, t in [(1, 2), (2, 4), (3, 4), (1, 3)]:
+            assert preferred_by_enumeration(g, algebra, s, t).path == (s, t)
+        # diagonals must use two-hop paths, which are traversable
+        for s, t in [(1, 4), (2, 3)]:
+            found = preferred_by_enumeration(g, algebra, s, t)
+            assert len(found.path) == 3
+            assert found.weight == 4
+
+    def test_no_preferred_spanning_tree_exists(self):
+        from repro.paths.spanning_tree import maps_to_tree
+
+        algebra = ShortestPath()
+        assert not maps_to_tree(fig1a(3), algebra)
+        assert not maps_to_tree(fig1b(1, 4), algebra)
+        assert not maps_to_tree(fig1c(2, 2), algebra)

@@ -1,0 +1,127 @@
+"""Tests for the synthetic topology generators."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators import (
+    FAMILIES,
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    grid,
+    hypercube,
+    max_degree,
+    path_graph,
+    random_geometric,
+    random_tree,
+    ring,
+    star,
+)
+
+
+class TestDeterministicTopologies:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 10
+
+    def test_ring(self):
+        g = ring(6)
+        assert g.number_of_edges() == 6
+        assert all(deg == 2 for _, deg in g.degree())
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(GraphError):
+            ring(2)
+
+    def test_path_graph(self):
+        g = path_graph(4)
+        assert g.number_of_edges() == 3
+        assert nx.is_connected(g)
+
+    def test_star(self):
+        g = star(7)
+        assert g.degree(0) == 6
+        assert max_degree(g) == 6
+
+    def test_grid_structure(self):
+        g = grid(3, 4)
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert nx.is_connected(g)
+        # corner node 0 has degree 2
+        assert g.degree(0) == 2
+
+    def test_hypercube(self):
+        g = hypercube(4)
+        assert g.number_of_nodes() == 16
+        assert all(deg == 4 for _, deg in g.degree())
+        assert nx.is_connected(g)
+        # neighbors differ in exactly one bit
+        for u, v in g.edges():
+            assert bin(u ^ v).count("1") == 1
+
+
+class TestRandomTopologies:
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            g = random_tree(20, rng=random.Random(seed))
+            assert g.number_of_edges() == 19
+            assert nx.is_connected(g)
+
+    def test_random_tree_small_sizes(self):
+        assert random_tree(1).number_of_nodes() == 1
+        assert random_tree(2).number_of_edges() == 1
+        assert random_tree(3).number_of_edges() == 2
+
+    def test_erdos_renyi_connected(self):
+        for seed in range(5):
+            g = erdos_renyi(40, rng=random.Random(seed))
+            assert nx.is_connected(g)
+            assert g.number_of_nodes() == 40
+
+    def test_erdos_renyi_determinism(self):
+        g1 = erdos_renyi(30, rng=random.Random(9))
+        g2 = erdos_renyi(30, rng=random.Random(9))
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_erdos_renyi_density_parameter(self):
+        sparse = erdos_renyi(40, p=0.02, rng=random.Random(1), connect=False)
+        dense = erdos_renyi(40, p=0.5, rng=random.Random(1), connect=False)
+        assert sparse.number_of_edges() < dense.number_of_edges()
+
+    def test_erdos_renyi_p_validation(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(10, p=1.5)
+
+    def test_barabasi_albert_connected_and_sized(self):
+        g = barabasi_albert(50, m=2, rng=random.Random(3))
+        assert g.number_of_nodes() == 50
+        assert nx.is_connected(g)
+        # the seed star has m edges; each of the n-(m+1) later nodes adds m
+        assert g.number_of_edges() == 2 + 2 * (50 - 3)
+
+    def test_barabasi_albert_heavy_tail(self):
+        g = barabasi_albert(200, m=2, rng=random.Random(4))
+        # preferential attachment produces hubs well above the mean degree
+        assert max_degree(g) >= 3 * (2 * g.number_of_edges() / 200)
+
+    def test_barabasi_albert_m_validation(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(5, m=5)
+
+    def test_random_geometric_connected(self):
+        g = random_geometric(40, rng=random.Random(5))
+        assert nx.is_connected(g)
+        assert all("pos" in g.nodes[v] for v in g.nodes())
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES), ids=str)
+    def test_every_family_builds_connected_graphs(self, family):
+        g = FAMILIES[family](36, random.Random(11))
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() >= 30

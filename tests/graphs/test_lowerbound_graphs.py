@@ -1,0 +1,124 @@
+"""Tests for the Fig. 2 lower-bound graph family."""
+
+import pytest
+
+from repro.algebra.base import is_phi
+from repro.algebra.bgp import CUSTOMER, PROVIDER, provider_customer_algebra
+from repro.exceptions import GraphError
+from repro.graphs.bgp_topologies import check_label_symmetry, satisfies_a1, satisfies_a2
+from repro.graphs.lowerbound import (
+    all_words,
+    fig2_bgp_instance,
+    fig2_family,
+    fig2_instance,
+)
+
+
+class TestWords:
+    def test_all_words_count(self):
+        assert len(list(all_words(2, 3))) == 9
+        assert len(list(all_words(3, 2))) == 8
+
+    def test_words_are_one_based(self):
+        words = list(all_words(2, 2))
+        assert (1, 1) in words and (2, 2) in words
+
+
+class TestFig2Instance:
+    def test_paper_example_dimensions(self):
+        # Fig. 2: p=2, delta=2, all four words -> 2 + 4 + 4 = 10 nodes
+        inst = fig2_instance(2, 2, [3, 5])
+        assert inst.n == 10
+        assert len(inst.centers) == 2
+        assert len(inst.targets) == 4
+
+    def test_center_degree_is_delta(self):
+        inst = fig2_instance(2, 3, [1, 2])
+        for c in inst.centers:
+            assert inst.graph.degree(c) == 3
+
+    def test_target_degree_is_p(self):
+        inst = fig2_instance(3, 2, [1, 2, 3])
+        for t in inst.targets:
+            assert inst.graph.degree(t) == 3
+
+    def test_target_connectivity_follows_word(self):
+        inst = fig2_instance(2, 2, [3, 5], words=[(1, 2)])
+        (target,) = inst.targets
+        assert inst.graph.has_edge(inst.intermediates[0][0], target)  # symbol 1
+        assert inst.graph.has_edge(inst.intermediates[1][1], target)  # symbol 2
+        assert not inst.graph.has_edge(inst.intermediates[0][1], target)
+
+    def test_edge_weights_per_branch(self):
+        inst = fig2_instance(2, 2, ["w1", "w2"])
+        for j in range(2):
+            assert inst.graph[inst.centers[0]][inst.intermediates[0][j]]["weight"] == "w1"
+            assert inst.graph[inst.centers[1]][inst.intermediates[1][j]]["weight"] == "w2"
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            fig2_instance(1, 2, ["w"])
+        with pytest.raises(GraphError):
+            fig2_instance(2, 1, ["a", "b"])
+        with pytest.raises(GraphError):
+            fig2_instance(2, 2, ["a"])  # wrong weight count
+        with pytest.raises(GraphError):
+            fig2_instance(2, 2, ["a", "b"], words=[(1, 3)])  # symbol out of range
+
+
+class TestFamilyEnumeration:
+    def test_family_size(self):
+        members = list(fig2_family(2, 2, [1, 2], num_targets=2))
+        # (delta^p)^|T| = 4^2
+        assert len(members) == 16
+
+    def test_family_members_share_skeleton(self):
+        members = list(fig2_family(2, 2, [1, 2], num_targets=2))
+        for inst in members:
+            assert inst.n == 2 + 4 + 2
+            assert inst.centers == members[0].centers
+
+
+class TestBGPVariant:
+    def test_arc_labels_symmetric(self):
+        inst = fig2_bgp_instance(2, 2)
+        check_label_symmetry(inst.graph)
+
+    def test_downhill_from_centers(self):
+        inst = fig2_bgp_instance(2, 2)
+        c = inst.centers[0]
+        z = inst.intermediates[0][0]
+        assert inst.graph[c][z]["weight"] == CUSTOMER
+        assert inst.graph[z][c]["weight"] == PROVIDER
+
+    def test_preferred_paths_have_weight_c(self):
+        inst = fig2_bgp_instance(2, 2)
+        b1 = provider_customer_algebra()
+        target = inst.targets[0]
+        symbol = inst.words[target][0]
+        z = inst.intermediates[0][symbol - 1]
+        w = b1.path_weight(inst.graph, [inst.centers[0], z, target])
+        assert w == CUSTOMER
+
+    def test_a2_always_holds(self):
+        assert satisfies_a2(fig2_bgp_instance(2, 2).graph)
+
+    def test_a1_fails_without_peer_augmentation(self):
+        assert not satisfies_a1(fig2_bgp_instance(2, 2).graph)
+
+    def test_peer_augmentation_restores_a1(self):
+        inst = fig2_bgp_instance(2, 2, peer_augment=True)
+        check_label_symmetry(inst.graph)
+        assert satisfies_a1(inst.graph)
+        assert satisfies_a2(inst.graph)
+
+    def test_peer_augmentation_preserves_customer_paths(self):
+        plain = fig2_bgp_instance(2, 2)
+        augmented = fig2_bgp_instance(2, 2, peer_augment=True)
+        b1 = provider_customer_algebra()
+        for t in plain.targets:
+            symbol = plain.words[t][0]
+            z = plain.intermediates[0][symbol - 1]
+            path = [plain.centers[0], z, t]
+            assert b1.path_weight(plain.graph, path) == CUSTOMER
+            assert b1.path_weight(augmented.graph, path) == CUSTOMER

@@ -1,0 +1,56 @@
+"""Tests for random edge weighting."""
+
+import random
+
+from repro.algebra.catalog import ShortestPath, WidestPath
+from repro.graphs.generators import erdos_renyi, ring
+from repro.graphs.weighting import (
+    WEIGHT_ATTR,
+    assign_random_weights,
+    assign_uniform_weight,
+    weighted_graph,
+)
+
+
+class TestAssignRandomWeights:
+    def test_every_edge_weighted(self):
+        g = erdos_renyi(20, rng=random.Random(0))
+        assign_random_weights(g, ShortestPath(), rng=random.Random(1))
+        assert all(WEIGHT_ATTR in data for _, _, data in g.edges(data=True))
+
+    def test_weights_belong_to_algebra(self):
+        algebra = WidestPath(max_capacity=5)
+        g = erdos_renyi(20, rng=random.Random(0))
+        assign_random_weights(g, algebra, rng=random.Random(1))
+        assert all(algebra.contains(data[WEIGHT_ATTR]) for _, _, data in g.edges(data=True))
+
+    def test_deterministic_given_seed(self):
+        g1 = erdos_renyi(15, rng=random.Random(2))
+        g2 = erdos_renyi(15, rng=random.Random(2))
+        assign_random_weights(g1, ShortestPath(), rng=random.Random(3))
+        assign_random_weights(g2, ShortestPath(), rng=random.Random(3))
+        for u, v in g1.edges():
+            assert g1[u][v][WEIGHT_ATTR] == g2[u][v][WEIGHT_ATTR]
+
+    def test_returns_graph_for_chaining(self):
+        g = ring(5)
+        assert assign_random_weights(g, ShortestPath()) is g
+
+    def test_custom_attribute(self):
+        g = ring(5)
+        assign_random_weights(g, ShortestPath(), attr="cost")
+        assert all("cost" in data for _, _, data in g.edges(data=True))
+
+
+class TestUniformWeight:
+    def test_all_equal(self):
+        g = ring(6)
+        assign_uniform_weight(g, 1)
+        assert {data[WEIGHT_ATTR] for _, _, data in g.edges(data=True)} == {1}
+
+
+class TestWeightedGraph:
+    def test_generate_and_weight(self):
+        g = weighted_graph(ring, ShortestPath(), rng=random.Random(1), n=8)
+        assert g.number_of_nodes() == 8
+        assert all(WEIGHT_ATTR in data for _, _, data in g.edges(data=True))

@@ -1,0 +1,121 @@
+"""Cross-engine consistency: every path engine agrees on every instance.
+
+The library has four independent ways to compute preferred weights —
+exhaustive enumeration (the definition), generalized Dijkstra, the
+synchronous distance-vector protocol and the asynchronous path-vector
+protocol — plus, for their domains, the shortest-widest solver and the
+valley-free automaton.  Agreement across all of them on randomized
+instances is the strongest internal-soundness check the reproduction has.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.base import PHI, is_phi
+from repro.algebra.catalog import MostReliablePath, ShortestPath, WidestPath
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.algebra.bgp import valley_free_algebra
+from repro.graphs.bgp_topologies import coned_as_topology
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weighting import assign_random_weights
+from repro.paths.dijkstra import preferred_path_tree
+from repro.paths.enumerate import preferred_by_enumeration
+from repro.paths.shortest_widest import shortest_widest_routes
+from repro.paths.valley_free import bgp_routes
+from repro.protocols.distance_vector import DistanceVectorSimulation
+from repro.protocols.path_vector import PathVectorSimulation
+
+
+REGULAR = [
+    ShortestPath(max_weight=9),
+    WidestPath(max_capacity=9),
+    MostReliablePath(denominator=8),
+    widest_shortest_path(max_weight=9, max_capacity=9),
+]
+
+
+@pytest.mark.parametrize("algebra", REGULAR, ids=lambda a: a.name)
+@pytest.mark.parametrize("seed", [11, 12])
+def test_four_engines_agree_on_regular_algebras(algebra, seed):
+    rng = random.Random(seed)
+    graph = erdos_renyi(12, p=0.35, rng=rng)
+    assign_random_weights(graph, algebra, rng=rng)
+
+    dv = DistanceVectorSimulation(graph, algebra)
+    assert dv.run().converged
+    pv = PathVectorSimulation(graph, algebra)
+    assert pv.run().converged
+
+    for source in (0, 5):
+        tree = preferred_path_tree(graph, algebra, source)
+        for target in graph.nodes():
+            if target == source:
+                continue
+            reference = preferred_by_enumeration(graph, algebra, source, target)
+            assert reference is not None
+            weights = {
+                "dijkstra": tree.weight[target],
+                "distance-vector": dv.weight(source, target),
+                "path-vector": pv.route(source, target).weight,
+            }
+            for engine, weight in weights.items():
+                assert algebra.eq(weight, reference.weight), (
+                    engine, source, target, weight, reference.weight,
+                )
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+def test_sw_solver_agrees_with_enumeration_and_pv_is_stable(seed):
+    algebra = shortest_widest_path(max_weight=9, max_capacity=9)
+    rng = random.Random(seed)
+    graph = erdos_renyi(10, p=0.4, rng=rng)
+    assign_random_weights(graph, algebra, rng=rng)
+
+    solver = shortest_widest_routes(graph, 0)
+    for target in graph.nodes():
+        if target == 0:
+            continue
+        reference = preferred_by_enumeration(graph, algebra, 0, target)
+        assert algebra.eq(solver[target].weight, reference.weight)
+
+    # path-vector on a non-isotone algebra: stability is all we claim
+    pv = PathVectorSimulation(graph, algebra)
+    report = pv.run()
+    assert report.converged
+    assert pv.is_stable()
+    # ... and its converged weights never beat the true optimum
+    for target in graph.nodes():
+        if target == 0:
+            continue
+        route = pv.route(0, target)
+        truth = preferred_by_enumeration(graph, algebra, 0, target).weight
+        assert algebra.leq(truth, route.weight)
+
+
+@pytest.mark.parametrize("seed", [31, 32])
+def test_bgp_engines_agree(seed):
+    """Automaton, enumeration and path-vector agree on valley-free routing.
+
+    Distance-vector is deliberately absent: without path information it can
+    oscillate on BGP policies (mutually dependent peer routes advertise,
+    compose to phi, withdraw, rediscover, ...) — which is exactly why BGP
+    is a path-vector protocol; see
+    ``test_distance_vector.py::test_bgp_distance_vector_may_oscillate``.
+    """
+    algebra = valley_free_algebra()
+    graph = coned_as_topology(2, 2, 3, rng=random.Random(seed))
+    pv = PathVectorSimulation(graph, algebra)
+    assert pv.run().converged
+    for source in graph.nodes():
+        automaton = bgp_routes(graph, algebra, source)
+        for target in graph.nodes():
+            if target == source:
+                continue
+            reference = preferred_by_enumeration(graph, algebra, source, target)
+            if reference is None:
+                assert target not in automaton
+                assert pv.route(source, target) is None
+                continue
+            assert algebra.eq(automaton[target].label, reference.weight)
+            assert algebra.eq(pv.route(source, target).weight, reference.weight)

@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Each property is a universally quantified statement from the paper's
+formalism, tested over randomized weights, graphs and seeds.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.base import PHI, is_phi
+from repro.algebra.catalog import MostReliablePath, ShortestPath, WidestPath
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.algebra.bgp import valley_free_algebra
+
+MAX_EXAMPLES = 200
+
+# -- weight strategies ---------------------------------------------------
+
+positive_ints = st.integers(min_value=1, max_value=1000)
+capacity_pairs = st.tuples(positive_ints, positive_ints)
+bgp_labels = st.sampled_from(["c", "r", "p"])
+
+
+def fractions_in_unit():
+    from fractions import Fraction
+
+    return st.builds(
+        lambda num, den: Fraction(min(num, den), den),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+    )
+
+
+# -- algebra axioms ------------------------------------------------------
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(positive_ints, positive_ints, positive_ints)
+def test_shortest_path_associativity_and_isotonicity(a, b, c):
+    s = ShortestPath()
+    assert s.combine(s.combine(a, b), c) == s.combine(a, s.combine(b, c))
+    if s.leq(a, b):
+        assert s.leq(s.combine(c, a), s.combine(c, b))
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(positive_ints, positive_ints)
+def test_widest_path_selectivity_and_monotonicity(a, b):
+    w = WidestPath()
+    combined = w.combine(a, b)
+    assert combined in (a, b)
+    assert w.leq(a, w.combine(b, a))
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(fractions_in_unit(), fractions_in_unit())
+def test_reliability_monotone_and_commutative(a, b):
+    r = MostReliablePath()
+    assert r.combine(a, b) == r.combine(b, a)
+    assert r.leq(a, r.combine(b, a))
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(capacity_pairs, capacity_pairs, capacity_pairs)
+def test_ws_total_order(a, b, c):
+    ws = widest_shortest_path()
+    assert ws.leq(a, b) or ws.leq(b, a)
+    if ws.leq(a, b) and ws.leq(b, c):
+        assert ws.leq(a, c)
+    if ws.leq(a, b) and ws.leq(b, a):
+        assert ws.eq(a, b)
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(capacity_pairs, capacity_pairs)
+def test_sw_strictly_monotone(a, b):
+    """Proposition 1 consequence: SW = W x S is strictly monotone."""
+    sw = shortest_widest_path()
+    assert sw.lt(a, sw.combine(b, a))
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(st.lists(bgp_labels, min_size=1, max_size=8))
+def test_valley_free_weight_is_first_label_or_phi(sequence):
+    """Prefix-stability: a traversable BGP path's weight is its first label."""
+    b2 = valley_free_algebra()
+    weight = b2.combine_sequence(sequence)
+    assert is_phi(weight) or weight == sequence[0]
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(st.lists(bgp_labels, min_size=1, max_size=8))
+def test_valley_free_matches_regex(sequence):
+    b2 = valley_free_algebra()
+    traversable = not is_phi(b2.combine_sequence(sequence))
+    i = 0
+    while i < len(sequence) and sequence[i] == "p":
+        i += 1
+    if i < len(sequence) and sequence[i] == "r":
+        i += 1
+    while i < len(sequence) and sequence[i] == "c":
+        i += 1
+    assert traversable == (i == len(sequence))
+
+
+# -- Definition 3 (stretch) ----------------------------------------------
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(positive_ints, st.integers(min_value=1, max_value=8))
+def test_stretch_powers_monotone_in_k(w, k):
+    """For monotone algebras the stretch bound loosens as k grows."""
+    from repro.routing.stretch import satisfies_stretch
+
+    s = ShortestPath()
+    realized = w * k  # exactly stretch k
+    assert satisfies_stretch(s, w, realized, k)
+    assert satisfies_stretch(s, w, realized, k + 1)
+    if k > 1:
+        assert not satisfies_stretch(s, w, realized, k - 1)
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(positive_ints, st.integers(min_value=1, max_value=12))
+def test_selective_powers_idempotent(w, k):
+    assert WidestPath().power(w, k) == w
+
+
+# -- graph-level invariants ----------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_dijkstra_matches_enumeration_random_instances(seed):
+    """Generalized Dijkstra == exhaustive enumeration on random graphs."""
+    from repro.graphs.generators import erdos_renyi
+    from repro.graphs.weighting import assign_random_weights
+    from repro.paths.dijkstra import preferred_path_tree
+    from repro.paths.enumerate import preferred_by_enumeration
+
+    rng = random.Random(seed)
+    algebra = [ShortestPath(9), WidestPath(9), widest_shortest_path(9, 9)][seed % 3]
+    graph = erdos_renyi(8, p=0.4, rng=rng)
+    assign_random_weights(graph, algebra, rng=rng)
+    tree = preferred_path_tree(graph, algebra, 0)
+    for target in graph.nodes():
+        if target == 0:
+            continue
+        truth = preferred_by_enumeration(graph, algebra, 0, target)
+        assert algebra.eq(tree.weight[target], truth.weight)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_lemma1_tree_paths_preferred_random_instances(seed):
+    """Lemma 1 invariant on random widest-path instances."""
+    from repro.graphs.generators import erdos_renyi
+    from repro.graphs.weighting import assign_random_weights
+    from repro.paths.enumerate import preferred_by_enumeration
+    from repro.paths.spanning_tree import preferred_spanning_tree, tree_path
+
+    rng = random.Random(seed)
+    algebra = WidestPath(max_capacity=6)
+    graph = erdos_renyi(8, p=0.45, rng=rng)
+    assign_random_weights(graph, algebra, rng=rng)
+    tree = preferred_spanning_tree(graph, algebra)
+    nodes = sorted(graph.nodes())
+    s, t = nodes[seed % len(nodes)], nodes[(seed // 7 + 3) % len(nodes)]
+    if s == t:
+        return
+    in_tree = algebra.path_weight(graph, tree_path(tree, s, t))
+    truth = preferred_by_enumeration(graph, algebra, s, t).weight
+    assert algebra.eq(in_tree, truth)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_tree_routing_delivers_random_trees(seed):
+    from repro.algebra.catalog import UsablePath
+    from repro.graphs.generators import random_tree
+    from repro.graphs.weighting import assign_uniform_weight
+    from repro.routing.tree_routing import TreeRoutingScheme
+
+    rng = random.Random(seed)
+    tree = random_tree(rng.randint(2, 40), rng=rng)
+    assign_uniform_weight(tree, 1)
+    scheme = TreeRoutingScheme(tree, UsablePath(), tree=tree, check_properties=False)
+    nodes = sorted(tree.nodes())
+    s = nodes[seed % len(nodes)]
+    t = nodes[(seed * 13 + 5) % len(nodes)]
+    result = scheme.route(s, t)
+    assert result.delivered
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_cowen_stretch3_random_instances(seed):
+    """Theorem 3 invariant on random shortest-path instances."""
+    from repro.graphs.generators import erdos_renyi
+    from repro.graphs.weighting import assign_random_weights
+    from repro.routing.cowen import CowenScheme
+    from repro.routing.stretch import minimal_stretch
+
+    rng = random.Random(seed)
+    algebra = ShortestPath(max_weight=9)
+    graph = erdos_renyi(12, p=0.35, rng=rng)
+    assign_random_weights(graph, algebra, rng=rng)
+    scheme = CowenScheme(graph, algebra, rng=rng)
+    nodes = sorted(graph.nodes())
+    s = nodes[seed % len(nodes)]
+    t = nodes[(seed * 31 + 7) % len(nodes)]
+    if s == t:
+        return
+    result = scheme.route(s, t)
+    assert result.delivered
+    realized = algebra.path_weight(graph, list(result.path))
+    k = minimal_stretch(algebra, scheme.preferred_weight(s, t), realized)
+    assert k is not None and k <= 3

@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for the protocol layer."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.catalog import ShortestPath, WidestPath
+from repro.graphs.generators import erdos_renyi, random_tree
+from repro.graphs.weighting import assign_random_weights, assign_uniform_weight
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_path_vector_fixed_point_is_dijkstra(seed):
+    """For regular algebras the path-vector fixed point equals the
+    generalized-Dijkstra solution, for any graph and seed."""
+    from repro.paths.dijkstra import preferred_path_tree
+    from repro.protocols.path_vector import PathVectorSimulation
+
+    rng = random.Random(seed)
+    algebra = [ShortestPath(9), WidestPath(9)][seed % 2]
+    graph = erdos_renyi(rng.randint(4, 14), p=0.4, rng=rng)
+    assign_random_weights(graph, algebra, rng=rng)
+    sim = PathVectorSimulation(graph, algebra, rng=random.Random(seed + 1))
+    assert sim.run().converged
+    assert sim.is_stable()
+    root = min(graph.nodes())
+    tree = preferred_path_tree(graph, algebra, root)
+    for target in graph.nodes():
+        if target == root:
+            continue
+        route = sim.route(root, target)
+        if target in tree.weight:
+            assert route is not None
+            assert algebra.eq(route.weight, tree.weight[target])
+        else:
+            assert route is None
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_distance_vector_matches_path_vector_on_regular(seed):
+    from repro.protocols.distance_vector import DistanceVectorSimulation
+    from repro.protocols.path_vector import PathVectorSimulation
+
+    rng = random.Random(seed)
+    algebra = ShortestPath(9)
+    graph = erdos_renyi(rng.randint(4, 12), p=0.45, rng=rng)
+    assign_random_weights(graph, algebra, rng=rng)
+    dv = DistanceVectorSimulation(graph, algebra)
+    pv = PathVectorSimulation(graph, algebra)
+    assert dv.run().converged and pv.run().converged
+    for s in graph.nodes():
+        for t in graph.nodes():
+            if s == t:
+                continue
+            pv_route = pv.route(s, t)
+            if pv_route is None:
+                from repro.algebra.base import is_phi
+
+                assert is_phi(dv.weight(s, t))
+            else:
+                assert algebra.eq(dv.weight(s, t), pv_route.weight)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_stp_always_elects_valid_tree(seed):
+    import networkx as nx
+
+    from repro.protocols.spanning_tree import SpanningTreeProtocol
+
+    rng = random.Random(seed)
+    graph = erdos_renyi(rng.randint(2, 24), rng=rng)
+    protocol = SpanningTreeProtocol(graph)
+    report = protocol.run()
+    assert report.converged
+    assert report.root == min(graph.nodes())
+    tree = protocol.tree()
+    assert nx.is_connected(tree)
+    assert tree.number_of_edges() == graph.number_of_nodes() - 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(min_value=0, max_value=2**20),
+                       st.integers(min_value=0, max_value=24)),
+             min_size=1, max_size=16)
+)
+def test_bit_codec_roundtrip(fields):
+    """BitWriter/BitReader invert each other for any field layout."""
+    from repro.routing.encoding import BitReader, BitWriter
+
+    writer = BitWriter()
+    layout = []
+    for value, extra in fields:
+        width = max(value.bit_length(), 1) + (extra % 4)
+        writer.write(value, width)
+        layout.append((value, width))
+    reader = BitReader(writer.bits())
+    for value, width in layout:
+        assert reader.read(width) == value
+    assert reader.remaining == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_interval_and_heavy_path_agree_on_trees(seed):
+    """Both tree schemes realize the same unique tree path."""
+    from repro.algebra.catalog import UsablePath
+    from repro.routing.interval_routing import IntervalRoutingScheme
+    from repro.routing.tree_routing import TreeRoutingScheme
+
+    rng = random.Random(seed)
+    tree = random_tree(rng.randint(2, 30), rng=rng)
+    assign_uniform_weight(tree, 1)
+    interval = IntervalRoutingScheme(tree, UsablePath(), tree=tree,
+                                     check_properties=False)
+    heavy = TreeRoutingScheme(tree, UsablePath(), tree=tree,
+                              check_properties=False)
+    nodes = sorted(tree.nodes())
+    s = nodes[seed % len(nodes)]
+    t = nodes[(seed * 17 + 3) % len(nodes)]
+    assert interval.route(s, t).path == heavy.route(s, t).path

@@ -1,0 +1,97 @@
+"""Proposition 2, the *only if* direction, checked concretely.
+
+Destination-based forwarding assigns each (node, destination) a single
+next hop.  It can realize a policy iff, for every destination, the
+preferred paths from all sources agree wherever they overlap — i.e. they
+form an in-tree toward the destination.  For a non-isotone algebra this
+fails: some node must lie on two sources' preferred paths that continue
+*differently*, so no next-hop assignment serves both.
+
+These tests search instances for such conflicts: shortest-widest path
+must exhibit them (Proposition 2's only-if), and the regular catalog
+algebras must never (the if direction, already exercised by the
+destination-table scheme, re-checked here structurally).
+"""
+
+import random
+from typing import Dict, Optional
+
+import pytest
+
+from repro.algebra.catalog import ShortestPath, WidestPath
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weighting import assign_random_weights
+from repro.paths.dijkstra import preferred_path_tree
+from repro.paths.shortest_widest import all_pairs_shortest_widest
+
+
+def _destination_conflicts_sw(graph) -> int:
+    """Count (node, dest) slots needing two different next hops under SW."""
+    routes = all_pairs_shortest_widest(graph)
+    conflicts = 0
+    for dest in graph.nodes():
+        required: Dict[object, set] = {}
+        for source in graph.nodes():
+            if source == dest or dest not in routes[source]:
+                continue
+            path = routes[source][dest].path
+            for here, nxt in zip(path, path[1:]):
+                required.setdefault(here, set()).add(nxt)
+        conflicts += sum(1 for hops in required.values() if len(hops) > 1)
+    return conflicts
+
+
+def _destination_conflicts_regular(graph, algebra) -> int:
+    """Same count where per-source preferred paths come from Dijkstra trees
+    *rooted at each source* — overlap agreement is what regularity buys.
+
+    Note the subtlety: with ties, different sources may legitimately pick
+    different (equally preferred) continuations; to honor Proposition 2 we
+    only need SOME preferred-path system forming in-trees, which Dijkstra
+    rooted at the destination provides.  So here we check that the
+    destination-rooted tree is itself a valid preferred-path system:
+    every tree path's weight matches the source-rooted optimum.
+    """
+    mismatches = 0
+    for dest in graph.nodes():
+        dest_tree = preferred_path_tree(graph, algebra, dest)
+        for source in graph.nodes():
+            if source == dest:
+                continue
+            src_tree = preferred_path_tree(graph, algebra, source)
+            want = src_tree.weight.get(dest)
+            got = dest_tree.weight.get(source)
+            if want is None or got is None or not algebra.eq(want, got):
+                mismatches += 1
+    return mismatches
+
+
+class TestOnlyIfDirection:
+    def test_sw_needs_conflicting_next_hops(self):
+        """Across seeds, shortest-widest path produces genuine conflicts:
+        no destination-based routing function can realize it."""
+        algebra = shortest_widest_path(max_weight=9, max_capacity=9)
+        total_conflicts = 0
+        for seed in range(6):
+            rng = random.Random(seed)
+            graph = erdos_renyi(12, p=0.4, rng=rng)
+            assign_random_weights(graph, algebra, rng=random.Random(seed + 60))
+            total_conflicts += _destination_conflicts_sw(graph)
+        assert total_conflicts > 0
+
+    @pytest.mark.parametrize(
+        "algebra",
+        [ShortestPath(max_weight=9), WidestPath(max_capacity=9),
+         widest_shortest_path(max_weight=9, max_capacity=9)],
+        ids=lambda a: a.name,
+    )
+    def test_regular_algebras_admit_destination_trees(self, algebra):
+        """The if direction structurally: destination-rooted preferred trees
+        achieve the per-source optima (so a conflict-free next-hop
+        assignment exists for every destination)."""
+        for seed in range(3):
+            rng = random.Random(seed)
+            graph = erdos_renyi(10, p=0.4, rng=rng)
+            assign_random_weights(graph, algebra, rng=random.Random(seed + 30))
+            assert _destination_conflicts_regular(graph, algebra) == 0

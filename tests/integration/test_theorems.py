@@ -1,0 +1,177 @@
+"""Integration tests: each paper theorem exercised end to end.
+
+These tests cut across algebra, graphs, paths and routing layers; every one
+maps to a numbered claim in the paper.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.algebra.base import is_phi
+from repro.algebra.catalog import MostReliablePath, ShortestPath, UsablePath, WidestPath
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.algebra.bgp import (
+    prefer_customer_algebra,
+    provider_customer_algebra,
+    valley_free_algebra,
+)
+from repro.core.compiler import build_scheme
+from repro.core.simulate import evaluate_scheme
+from repro.graphs.bgp_topologies import coned_as_topology, provider_tree_topology
+from repro.graphs.generators import barabasi_albert, erdos_renyi
+from repro.graphs.weighting import assign_random_weights
+from repro.routing.memory import memory_report
+
+
+class TestProposition2AndObservation1:
+    """Destination tables implement exactly the regular algebras, with
+    O(n log d) bits."""
+
+    def test_regular_algebra_destination_routing_exact(self):
+        algebra = widest_shortest_path(max_weight=9, max_capacity=9)
+        graph = erdos_renyi(20, rng=random.Random(0))
+        assign_random_weights(graph, algebra, rng=random.Random(1))
+        report = evaluate_scheme(graph, algebra, build_scheme(graph, algebra))
+        assert report.all_delivered and report.all_optimal
+
+    def test_non_regular_algebra_rejected(self):
+        from repro.exceptions import NotApplicableError
+        from repro.routing.destination_table import DestinationTableScheme
+
+        algebra = shortest_widest_path()
+        graph = erdos_renyi(8, rng=random.Random(2))
+        assign_random_weights(graph, algebra, rng=random.Random(3))
+        with pytest.raises(NotApplicableError):
+            DestinationTableScheme(graph, algebra)
+
+
+class TestTheorem1:
+    """Selective + monotone => compressible via tree routing, O(log n)."""
+
+    @pytest.mark.parametrize("algebra", [WidestPath(max_capacity=9), UsablePath()],
+                             ids=lambda a: a.name)
+    def test_tree_routing_exact_and_logarithmic(self, algebra):
+        bits = []
+        for n in (16, 64, 256):
+            graph = erdos_renyi(n, rng=random.Random(4))
+            assign_random_weights(graph, algebra, rng=random.Random(5))
+            scheme = build_scheme(graph, algebra)
+            if n == 16:
+                report = evaluate_scheme(graph, algebra, scheme)
+                assert report.all_delivered and report.all_optimal
+            bits.append(memory_report(scheme).max_bits)
+        # memory grows additively (log), not multiplicatively (linear)
+        assert bits[2] <= bits[0] + 24
+
+
+class TestTheorem2AndLemma2:
+    """Delimited + strictly monotone (possibly via subalgebra) embeds
+    shortest-path routing, hence Omega(n)."""
+
+    def test_reliability_embedding_reduction(self):
+        """Lemma 2 executable: relabel an S instance into R; preferred paths
+        coincide, so R inherits S's incompressibility."""
+        from fractions import Fraction
+
+        from repro.algebra.power import embeds_shortest_path, relabel_shortest_path_instance
+        from repro.paths.dijkstra import preferred_path_tree
+
+        algebra = MostReliablePath()
+        generator = Fraction(1, 2)
+        assert embeds_shortest_path(algebra, generator, bound=16)
+
+        graph = erdos_renyi(12, rng=random.Random(6))
+        assign_random_weights(graph, ShortestPath(max_weight=4), rng=random.Random(7))
+        relabeled = relabel_shortest_path_instance(graph, algebra, generator)
+        for root in list(graph.nodes())[:4]:
+            s_tree = preferred_path_tree(graph, ShortestPath(), root)
+            r_tree = preferred_path_tree(relabeled, algebra, root)
+            for target in graph.nodes():
+                if target == root:
+                    continue
+                # weights correspond through f(n) = w^n
+                assert r_tree.weight[target] == generator ** s_tree.weight[target]
+
+    def test_destination_table_memory_grows_linearly(self):
+        algebra = ShortestPath(max_weight=9)
+        bits = []
+        for n in (16, 64, 256):
+            graph = erdos_renyi(n, rng=random.Random(8))
+            assign_random_weights(graph, algebra, rng=random.Random(9))
+            bits.append(memory_report(build_scheme(graph, algebra)).max_bits)
+        assert bits[1] > 2 * bits[0]
+        assert bits[2] > 2 * bits[1]
+
+
+class TestTheorem3:
+    """Delimited + regular => stretch-3 compact scheme with sublinear memory."""
+
+    @pytest.mark.parametrize(
+        "algebra",
+        [ShortestPath(max_weight=9), MostReliablePath(denominator=8),
+         widest_shortest_path(max_weight=9, max_capacity=9)],
+        ids=lambda a: a.name,
+    )
+    def test_cowen_stretch3(self, algebra):
+        graph = barabasi_albert(36, m=2, rng=random.Random(10))
+        assign_random_weights(graph, algebra, rng=random.Random(11))
+        scheme = build_scheme(graph, algebra, mode="compact", rng=random.Random(12))
+        report = evaluate_scheme(graph, algebra, scheme)
+        assert report.all_delivered
+        assert report.stretch.stretch3_holds, report.summary()
+
+    def test_compact_beats_tables_at_scale(self):
+        """The storage/optimality trade-off: at moderate n the Cowen scheme
+        stores fewer worst-case bits than destination tables."""
+        algebra = ShortestPath(max_weight=9)
+        n = 192
+        graph = erdos_renyi(n, rng=random.Random(13))
+        assign_random_weights(graph, algebra, rng=random.Random(14))
+        exact = memory_report(build_scheme(graph, algebra)).max_bits
+        compact = memory_report(
+            build_scheme(graph, algebra, mode="compact", rng=random.Random(15))
+        ).max_bits
+        assert compact < exact
+
+
+class TestTheorems5To8:
+    """The BGP story: incompressible in general, compressible under A1+A2
+    for B1/B2, incompressible regardless for B3."""
+
+    def test_theorem5_forcing(self):
+        from repro.graphs.lowerbound import fig2_bgp_instance
+        from repro.lowerbounds.counting import verify_preferred_paths_forced
+
+        inst = fig2_bgp_instance(2, 3)
+        assert verify_preferred_paths_forced(inst, provider_customer_algebra(), 5).all_forced
+
+    def test_theorem6_scheme(self):
+        algebra = provider_customer_algebra()
+        graph = provider_tree_topology(40, rng=random.Random(16), max_providers=3)
+        scheme = build_scheme(graph, algebra)
+        report = evaluate_scheme(graph, algebra, scheme)
+        assert report.all_delivered
+        # every realized path is traversable (weight != phi) => preferred,
+        # since B1 ranks all traversable paths equally
+        assert report.all_optimal
+
+    def test_theorem7_scheme(self):
+        algebra = valley_free_algebra()
+        graph = coned_as_topology(3, 4, 6, rng=random.Random(17))
+        scheme = build_scheme(graph, algebra)
+        report = evaluate_scheme(graph, algebra, scheme)
+        assert report.all_delivered and report.all_optimal
+
+    def test_theorem8_forcing_and_refusal(self):
+        from repro.exceptions import NotApplicableError
+        from repro.graphs.lowerbound import fig2_bgp_instance
+        from repro.lowerbounds.counting import verify_preferred_paths_forced
+
+        b3 = prefer_customer_algebra()
+        inst = fig2_bgp_instance(2, 2, peer_augment=True)
+        assert verify_preferred_paths_forced(inst, b3, 6).all_forced
+        graph = coned_as_topology(2, 2, 2, rng=random.Random(18))
+        with pytest.raises(NotApplicableError):
+            build_scheme(graph, b3, mode="compact")

@@ -1,0 +1,85 @@
+"""Tests for the forwarding-function counting machinery (Theorems 4, 5, 8)."""
+
+import math
+
+import pytest
+
+from repro.algebra.catalog import MinHop
+from repro.algebra.bgp import prefer_customer_algebra, provider_customer_algebra
+from repro.algebra.lexicographic import shortest_widest_path
+from repro.graphs.lowerbound import fig2_bgp_instance, fig2_instance
+from repro.lowerbounds.counting import (
+    center_forwarding_map,
+    count_distinct_center_maps,
+    verify_preferred_paths_forced,
+)
+from repro.lowerbounds.theorem4 import shortest_widest_condition1_weights
+
+
+class TestCenterForwardingMap:
+    def test_map_follows_words(self):
+        inst = fig2_instance(2, 2, [1, 1], words=[(1, 2), (2, 1)])
+        map0 = center_forwarding_map(inst, 0)
+        map1 = center_forwarding_map(inst, 1)
+        assert len(map0) == len(map1) == 2
+        # the two targets use different symbols at each center
+        assert map0[0] != map0[1]
+        assert map1[0] != map1[1]
+
+    def test_identical_words_identical_ports(self):
+        inst = fig2_instance(2, 2, [1, 1], words=[(1, 1), (1, 1)])
+        map0 = center_forwarding_map(inst, 0)
+        assert map0[0] == map0[1]
+
+
+class TestCounting:
+    def test_delta_to_the_T_distinct_functions(self):
+        """The heart of the Omega(n log delta) bound: delta^|T| distinct
+        forced forwarding functions per center."""
+        result = count_distinct_center_maps(2, 2, [1, 1], num_targets=3)
+        assert result.family_size == (2 ** 2) ** 3
+        assert all(v == 2 ** 3 for v in result.distinct_maps_per_center.values())
+        assert result.measured_bits == pytest.approx(result.predicted_bits)
+        assert result.predicted_bits == pytest.approx(3 * math.log2(2))
+
+    def test_larger_alphabet(self):
+        result = count_distinct_center_maps(2, 3, [1, 1], num_targets=2)
+        assert all(v == 3 ** 2 for v in result.distinct_maps_per_center.values())
+        assert result.measured_bits == pytest.approx(2 * math.log2(3))
+
+    def test_summary_text(self):
+        result = count_distinct_center_maps(2, 2, [1, 1], num_targets=2)
+        assert "Fig.2 family" in result.summary()
+
+
+class TestForcing:
+    def test_min_hop_forcing_with_sw_weights(self):
+        """Section 4.2: the SW condition (1) weights make every non-preferred
+        path violate stretch k on the Fig. 2 graph."""
+        k = 2
+        weights = shortest_widest_condition1_weights(2, k)
+        inst = fig2_instance(2, 2, weights)
+        result = verify_preferred_paths_forced(inst, shortest_widest_path(), k)
+        assert result.all_forced, result.counterexample
+
+    def test_b1_forcing(self):
+        """Theorem 5: any non-preferred path in the directed labelling is
+        untraversable, so even stretch-8 schemes must use preferred paths."""
+        inst = fig2_bgp_instance(2, 2)
+        result = verify_preferred_paths_forced(inst, provider_customer_algebra(), 8)
+        assert result.all_forced
+
+    def test_b3_forcing_with_peer_augmentation(self):
+        """Theorem 8: with A1 restored via peer arcs, alternatives have
+        weight r or phi, both ≻ c^k."""
+        inst = fig2_bgp_instance(2, 2, peer_augment=True)
+        result = verify_preferred_paths_forced(inst, prefer_customer_algebra(), 8)
+        assert result.all_forced
+
+    def test_min_hop_alone_is_not_forced(self):
+        """Contrast: with plain min-hop (no condition (1) structure), longer
+        paths CAN satisfy stretch 3 — stretch genuinely helps, so the family
+        does not force unbounded memory for shortest-path-with-stretch."""
+        inst = fig2_instance(2, 2, [1, 1])
+        result = verify_preferred_paths_forced(inst, MinHop(), 3)
+        assert not result.all_forced

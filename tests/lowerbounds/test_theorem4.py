@@ -1,0 +1,74 @@
+"""Tests for condition (1) witnesses (Theorem 4, Section 4.2)."""
+
+import random
+
+import pytest
+
+from repro.algebra.catalog import ShortestPath, WidestPath
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.exceptions import AlgebraError
+from repro.lowerbounds.theorem4 import (
+    find_condition1_weights,
+    satisfies_condition1,
+    shortest_widest_condition1_weights,
+)
+
+
+class TestSWWitness:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_section42_construction_satisfies_condition1(self, p, k):
+        algebra = shortest_widest_path()
+        weights = shortest_widest_condition1_weights(p, k)
+        assert satisfies_condition1(algebra, weights, k).holds
+
+    def test_construction_values(self):
+        assert shortest_widest_condition1_weights(3, 2) == [(1, 1), (2, 4), (3, 16)]
+
+    def test_validation(self):
+        with pytest.raises(AlgebraError):
+            shortest_widest_condition1_weights(1, 2)
+        with pytest.raises(AlgebraError):
+            shortest_widest_condition1_weights(2, 0)
+
+
+class TestCondition1Check:
+    def test_fails_for_additive_weights(self):
+        """In S, w_i ⊕ w_j = w_i + w_j ⪯ 2k·max — condition (1) cannot hold."""
+        s = ShortestPath()
+        result = satisfies_condition1(s, [1, 2], 1)
+        assert not result.holds
+        assert result.witness is not None
+
+    def test_fails_for_selective_weights(self):
+        w = WidestPath()
+        assert not satisfies_condition1(w, [3, 7], 2).holds
+
+    def test_needs_two_weights(self):
+        with pytest.raises(AlgebraError):
+            satisfies_condition1(ShortestPath(), [1], 2)
+
+    def test_k_validation(self):
+        with pytest.raises(AlgebraError):
+            satisfies_condition1(ShortestPath(), [1, 2], 0)
+
+
+class TestSearch:
+    def test_finds_witness_for_sw(self):
+        witness = find_condition1_weights(
+            shortest_widest_path(max_weight=100, max_capacity=100), k=1, p=2,
+            rng=random.Random(0), attempts=2000,
+        )
+        assert witness is not None
+        assert satisfies_condition1(shortest_widest_path(), witness, 1).holds
+
+    @pytest.mark.parametrize(
+        "algebra",
+        [ShortestPath(), WidestPath(), widest_shortest_path()],
+        ids=lambda a: a.name,
+    )
+    def test_no_witness_in_regular_algebras_for_k2(self, algebra):
+        """For k >= 2, condition (1) contradicts isotonicity — the search
+        must come up empty on every regular catalog algebra."""
+        assert find_condition1_weights(algebra, k=2, rng=random.Random(1),
+                                       attempts=3000) is None

@@ -1,0 +1,101 @@
+"""Tests for the exhaustive ground-truth path oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.algebra.base import PHI, is_phi
+from repro.algebra.catalog import ShortestPath, WidestPath
+from repro.paths.enumerate import (
+    all_preferred_by_enumeration,
+    preferred_by_enumeration,
+    preferred_weight_matrix,
+)
+
+
+@pytest.fixture
+def diamond():
+    # 0 - 1 - 3 and 0 - 2 - 3, plus a heavy direct edge 0 - 3
+    g = nx.Graph()
+    g.add_edge(0, 1, weight=1)
+    g.add_edge(1, 3, weight=1)
+    g.add_edge(0, 2, weight=2)
+    g.add_edge(2, 3, weight=2)
+    g.add_edge(0, 3, weight=10)
+    return g
+
+
+class TestPreferredByEnumeration:
+    def test_shortest(self, diamond):
+        found = preferred_by_enumeration(diamond, ShortestPath(), 0, 3)
+        assert found.path == (0, 1, 3)
+        assert found.weight == 2
+
+    def test_widest(self, diamond):
+        found = preferred_by_enumeration(diamond, WidestPath(), 0, 3)
+        assert found.path == (0, 3)
+        assert found.weight == 10
+
+    def test_unreachable_returns_none(self):
+        g = nx.Graph()
+        g.add_node(0)
+        g.add_node(1)
+        assert preferred_by_enumeration(g, ShortestPath(), 0, 1) is None
+
+    def test_deterministic_tie_breaking(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1)
+        g.add_edge(1, 3, weight=1)
+        g.add_edge(0, 2, weight=1)
+        g.add_edge(2, 3, weight=1)
+        found = preferred_by_enumeration(g, ShortestPath(), 0, 3)
+        assert found.path == (0, 1, 3)  # lexicographically least tie
+
+    def test_cutoff_limits_search(self, diamond):
+        found = preferred_by_enumeration(diamond, ShortestPath(), 0, 3, cutoff=2)
+        assert found.path == (0, 3)  # only the direct edge fits
+
+    def test_directed_graph_respects_direction(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1, weight=1)
+        g.add_edge(1, 2, weight=1)
+        assert preferred_by_enumeration(g, ShortestPath(), 0, 2).path == (0, 1, 2)
+        assert preferred_by_enumeration(g, ShortestPath(), 2, 0) is None
+
+    def test_phi_edges_skipped(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=PHI)
+        g.add_edge(0, 2, weight=1)
+        g.add_edge(2, 1, weight=1)
+        found = preferred_by_enumeration(g, ShortestPath(), 0, 1)
+        assert found.path == (0, 2, 1)
+
+
+class TestAllPreferred:
+    def test_full_tie_set(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1)
+        g.add_edge(1, 3, weight=1)
+        g.add_edge(0, 2, weight=1)
+        g.add_edge(2, 3, weight=1)
+        ties = all_preferred_by_enumeration(g, ShortestPath(), 0, 3)
+        assert [t.path for t in ties] == [(0, 1, 3), (0, 2, 3)]
+
+    def test_empty_when_unreachable(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        assert all_preferred_by_enumeration(g, ShortestPath(), 0, 1) == []
+
+
+class TestWeightMatrix:
+    def test_matrix_complete(self, diamond):
+        matrix = preferred_weight_matrix(diamond, ShortestPath())
+        assert matrix[(0, 3)] == 2
+        assert matrix[(3, 0)] == 2  # symmetric on undirected graphs
+        assert len(matrix) == 4 * 3
+
+    def test_matrix_phi_for_unreachable(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1)
+        g.add_node(2)
+        matrix = preferred_weight_matrix(g, ShortestPath())
+        assert is_phi(matrix[(0, 2)])

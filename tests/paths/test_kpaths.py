@@ -1,0 +1,136 @@
+"""Tests for k preferred paths (generalized Yen)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algebra.catalog import ShortestPath, WidestPath
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.exceptions import AlgebraError
+from repro.graphs.generators import erdos_renyi, grid, ring
+from repro.graphs.weighting import assign_random_weights
+from repro.paths.enumerate import (
+    _simple_paths,
+    all_preferred_by_enumeration,
+)
+from repro.paths.kpaths import k_preferred_paths, preferred_tie_set
+
+
+def _all_paths_sorted(graph, algebra, s, t):
+    """Ground truth: every simple path, sorted the way Yen sorts."""
+    key = algebra.comparison_key()
+    paths = []
+    for path in _simple_paths(graph, s, t):
+        w = algebra.path_weight(graph, path)
+        paths.append((tuple(path), w))
+    paths.sort(key=lambda item: (key(item[1]), len(item[0]), item[0]))
+    return paths
+
+
+class TestAgainstEnumeration:
+    @pytest.mark.parametrize(
+        "algebra",
+        [ShortestPath(max_weight=9), WidestPath(max_capacity=9),
+         widest_shortest_path(max_weight=9, max_capacity=9)],
+        ids=lambda a: a.name,
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_k_paths_match_ground_truth(self, algebra, seed):
+        rng = random.Random(seed)
+        graph = erdos_renyi(9, p=0.4, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        k = 5
+        mine = k_preferred_paths(graph, algebra, 0, 5, k)
+        full_truth = _all_paths_sorted(graph, algebra, 0, 5)
+        truth = full_truth[:k]
+        assert len(mine) == len(truth)
+        # the weight sequence is exact; path identity may differ among
+        # equal-weight ties (Dijkstra's internal tie-breaking), so require
+        # path equality only at strictly-ordered positions
+        for index, (got, (want_path, want_weight)) in enumerate(zip(mine, truth)):
+            assert algebra.eq(got.weight, want_weight), index
+            tied = sum(
+                1 for _, w in full_truth if algebra.eq(w, want_weight)
+            )
+            if tied == 1:
+                assert got.path == want_path, index
+            # realized weight must match the reported one regardless
+            assert algebra.eq(
+                algebra.path_weight(graph, list(got.path)), got.weight
+            )
+
+    def test_first_path_is_the_preferred_one(self):
+        algebra = ShortestPath(max_weight=9)
+        graph = grid(3, 3)
+        assign_random_weights(graph, algebra, rng=random.Random(3))
+        from repro.paths.enumerate import preferred_by_enumeration
+
+        best = k_preferred_paths(graph, algebra, 0, 8, 1)[0]
+        truth = preferred_by_enumeration(graph, algebra, 0, 8)
+        assert algebra.eq(best.weight, truth.weight)
+
+    def test_paths_are_loopless_and_distinct(self):
+        algebra = ShortestPath(max_weight=5)
+        graph = erdos_renyi(10, p=0.5, rng=random.Random(4))
+        assign_random_weights(graph, algebra, rng=random.Random(5))
+        paths = k_preferred_paths(graph, algebra, 0, 9, 8)
+        seen = set()
+        for p in paths:
+            assert len(set(p.path)) == len(p.path)
+            assert p.path not in seen
+            seen.add(p.path)
+
+    def test_returns_fewer_when_graph_runs_out(self):
+        graph = ring(5)
+        algebra = ShortestPath(max_weight=5)
+        assign_random_weights(graph, algebra, rng=random.Random(6))
+        # a ring has exactly 2 simple paths between any pair
+        paths = k_preferred_paths(graph, algebra, 0, 2, 10)
+        assert len(paths) == 2
+
+    def test_unreachable_gives_empty(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1)
+        graph.add_node(2)
+        assert k_preferred_paths(graph, ShortestPath(), 0, 2, 3) == []
+
+
+class TestTieSet:
+    def test_matches_exhaustive_tie_set(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1)
+        graph.add_edge(1, 3, weight=1)
+        graph.add_edge(0, 2, weight=1)
+        graph.add_edge(2, 3, weight=1)
+        algebra = ShortestPath(max_weight=5)
+        yen = preferred_tie_set(graph, algebra, 0, 3)
+        truth = all_preferred_by_enumeration(graph, algebra, 0, 3)
+        assert [p.path for p in yen] == [p.path for p in truth]
+
+    def test_widest_path_tie_sets_can_be_large(self):
+        # uniform capacities: every simple path ties
+        graph = grid(2, 3)
+        algebra = WidestPath(max_capacity=9)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = 5
+        ties = preferred_tie_set(graph, algebra, 0, 5, k_bound=16)
+        truth = all_preferred_by_enumeration(graph, algebra, 0, 5)
+        assert len(ties) == len(truth)
+
+
+class TestGuardrails:
+    def test_rejects_non_regular(self):
+        graph = ring(4)
+        assign_random_weights(graph, shortest_widest_path(), rng=random.Random(7))
+        with pytest.raises(AlgebraError):
+            k_preferred_paths(graph, shortest_widest_path(), 0, 2, 3)
+
+    def test_validates_k_and_endpoints(self):
+        graph = ring(4)
+        algebra = ShortestPath(max_weight=5)
+        assign_random_weights(graph, algebra, rng=random.Random(8))
+        with pytest.raises(AlgebraError):
+            k_preferred_paths(graph, algebra, 0, 2, 0)
+        with pytest.raises(AlgebraError):
+            k_preferred_paths(graph, algebra, 2, 2, 1)

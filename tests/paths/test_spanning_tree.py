@@ -1,0 +1,133 @@
+"""Tests for the Lemma 1 preferred spanning tree."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algebra.catalog import ShortestPath, UsablePath, WidestPath
+from repro.exceptions import NotApplicableError
+from repro.graphs.generators import erdos_renyi, grid
+from repro.graphs.weighting import assign_random_weights, assign_uniform_weight
+from repro.paths.enumerate import preferred_by_enumeration
+from repro.paths.spanning_tree import (
+    DisjointSet,
+    maps_to_tree,
+    preferred_spanning_tree,
+    tree_path,
+)
+
+
+class TestDisjointSet:
+    def test_union_find(self):
+        dsu = DisjointSet(range(5))
+        assert dsu.union(0, 1)
+        assert dsu.union(1, 2)
+        assert not dsu.union(0, 2)  # already joined
+        assert dsu.find(0) == dsu.find(2)
+        assert dsu.find(3) != dsu.find(0)
+
+    def test_union_by_rank_keeps_trees_shallow(self):
+        dsu = DisjointSet(range(8))
+        for i in range(7):
+            dsu.union(i, i + 1)
+        root = dsu.find(0)
+        assert all(dsu.find(i) == root for i in range(8))
+
+
+class TestLemma1Tree:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_widest_path_tree_contains_preferred_paths(self, seed):
+        """Lemma 1 on W: every in-tree path is a preferred (widest) path."""
+        rng = random.Random(seed)
+        algebra = WidestPath(max_capacity=10)
+        graph = erdos_renyi(10, p=0.4, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        tree = preferred_spanning_tree(graph, algebra)
+        assert tree.number_of_edges() == graph.number_of_nodes() - 1
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s >= t:
+                    continue
+                in_tree = algebra.path_weight(graph, tree_path(tree, s, t))
+                truth = preferred_by_enumeration(graph, algebra, s, t).weight
+                assert algebra.eq(in_tree, truth), (s, t)
+
+    def test_usable_path_any_spanning_tree_works(self):
+        algebra = UsablePath()
+        graph = grid(3, 3)
+        assign_uniform_weight(graph, 1)
+        tree = preferred_spanning_tree(graph, algebra)
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s != t:
+                    assert algebra.path_weight(graph, tree_path(tree, s, t)) == 1
+
+    def test_tree_is_max_bottleneck_spanning_tree(self):
+        # sanity against networkx's maximum spanning tree on capacities
+        rng = random.Random(5)
+        algebra = WidestPath()
+        graph = erdos_renyi(12, p=0.4, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        ours = preferred_spanning_tree(graph, algebra)
+        reference = nx.maximum_spanning_tree(graph, weight="weight")
+        ours_min = min(d["weight"] for _, _, d in ours.edges(data=True))
+        ref_min = min(d["weight"] for _, _, d in reference.edges(data=True))
+        assert ours_min == ref_min
+
+    def test_rejects_non_selective_algebra(self):
+        graph = grid(2, 2)
+        assign_uniform_weight(graph, 1)
+        with pytest.raises(NotApplicableError):
+            preferred_spanning_tree(graph, ShortestPath())
+
+    def test_rejects_directed(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1, weight=1)
+        with pytest.raises(NotApplicableError):
+            preferred_spanning_tree(g, WidestPath())
+
+    def test_rejects_disconnected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1)
+        g.add_node(2)
+        with pytest.raises(NotApplicableError):
+            preferred_spanning_tree(g, WidestPath())
+
+    def test_deterministic(self):
+        rng1, rng2 = random.Random(6), random.Random(6)
+        a = erdos_renyi(10, rng=rng1)
+        b = erdos_renyi(10, rng=rng2)
+        assign_random_weights(a, WidestPath(), rng=random.Random(7))
+        assign_random_weights(b, WidestPath(), rng=random.Random(7))
+        ta = preferred_spanning_tree(a, WidestPath())
+        tb = preferred_spanning_tree(b, WidestPath())
+        assert sorted(ta.edges()) == sorted(tb.edges())
+
+
+class TestTreePath:
+    def test_unique_path(self):
+        tree = nx.Graph()
+        tree.add_edges_from([(0, 1), (1, 2), (1, 3)])
+        assert tree_path(tree, 0, 3) == [0, 1, 3]
+        assert tree_path(tree, 2, 2) == [2]
+
+    def test_disconnected_raises(self):
+        tree = nx.Graph()
+        tree.add_edge(0, 1)
+        tree.add_node(2)
+        with pytest.raises(NotApplicableError):
+            tree_path(tree, 0, 2)
+
+
+class TestMapsToTree:
+    def test_widest_maps_to_tree(self):
+        rng = random.Random(8)
+        graph = erdos_renyi(6, p=0.5, rng=rng)
+        assign_random_weights(graph, WidestPath(max_capacity=5), rng=rng)
+        assert maps_to_tree(graph, WidestPath(max_capacity=5))
+
+    def test_shortest_does_not_map_on_fig1a(self):
+        from repro.graphs.fig1 import fig1a
+
+        assert not maps_to_tree(fig1a(3), ShortestPath())

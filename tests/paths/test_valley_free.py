@@ -1,0 +1,159 @@
+"""Tests for the BGP preferred-path automaton (Section 5)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algebra.base import PHI, is_phi
+from repro.algebra.bgp import (
+    CUSTOMER,
+    PEER,
+    PROVIDER,
+    BGPAlgebra,
+    prefer_customer_algebra,
+    provider_customer_algebra,
+    valley_free_algebra,
+)
+from repro.exceptions import AlgebraError
+from repro.graphs.bgp_topologies import (
+    add_peering,
+    add_relationship,
+    coned_as_topology,
+    provider_tree_topology,
+    tiered_as_topology,
+)
+from repro.paths.enumerate import preferred_by_enumeration
+from repro.paths.valley_free import (
+    all_pairs_bgp_routes,
+    bgp_routes,
+    valley_free_reachable_sets,
+)
+
+
+def small_topology():
+    """root 0, mid 1-2 (peered), stubs 3-5."""
+    g = nx.DiGraph()
+    add_relationship(g, 1, 0)
+    add_relationship(g, 2, 0)
+    add_peering(g, 1, 2)
+    add_relationship(g, 3, 1)
+    add_relationship(g, 4, 1)
+    add_relationship(g, 4, 2)
+    add_relationship(g, 5, 2)
+    return g
+
+
+class TestAgainstEnumeration:
+    @pytest.mark.parametrize(
+        "algebra",
+        [provider_customer_algebra(), valley_free_algebra(), prefer_customer_algebra()],
+        ids=lambda a: a.name,
+    )
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_route_weights_match_ground_truth(self, algebra, seed):
+        graph = tiered_as_topology(tier1=2, tier2=3, stubs=4, rng=random.Random(seed))
+        for source in graph.nodes():
+            routes = bgp_routes(graph, algebra, source)
+            for target in graph.nodes():
+                if target == source:
+                    continue
+                truth = preferred_by_enumeration(graph, algebra, source, target)
+                if truth is None:
+                    assert target not in routes, (source, target)
+                else:
+                    assert target in routes, (source, target)
+                    assert algebra.eq(routes[target].label, truth.weight)
+
+    def test_routes_are_traversable(self):
+        algebra = valley_free_algebra()
+        graph = small_topology()
+        for source in graph.nodes():
+            for route in bgp_routes(graph, algebra, source).values():
+                weight = algebra.path_weight(graph, list(route.path))
+                assert not is_phi(weight)
+                assert weight == route.label
+
+
+class TestPreferenceSemantics:
+    def test_b3_prefers_customer_route(self):
+        # 1 can reach 4 down through customers (c) or via peer 2 (r for 2->4?
+        # no: 1->2 is peer then 2->4 customer = r route). Customer must win.
+        g = small_topology()
+        b3 = prefer_customer_algebra()
+        routes = bgp_routes(g, b3, 1)
+        assert routes[4].label == CUSTOMER
+        assert routes[4].path == (1, 4)
+
+    def test_b3_uses_peer_before_provider(self):
+        g = small_topology()
+        b3 = prefer_customer_algebra()
+        routes = bgp_routes(g, b3, 1)
+        # 1 -> 5: via peer 2 (label r) vs via provider 0 (label p): r wins.
+        assert routes[5].label == PEER
+        assert routes[5].path == (1, 2, 5)
+
+    def test_b4_semantics_label_then_length(self):
+        # B4 arcs carry (label, cost); bgp_routes reads costs from the tuple.
+        g = nx.DiGraph()
+        def rel(c, p, cost=1):
+            g.add_edge(c, p, weight=(PROVIDER, cost))
+            g.add_edge(p, c, weight=(CUSTOMER, cost))
+        rel(1, 0); rel(2, 0); rel(3, 1); rel(3, 2); rel(4, 3)
+        b3 = prefer_customer_algebra()
+        routes = bgp_routes(g, b3, 0)
+        assert routes[4].label == CUSTOMER
+        assert routes[4].cost == 3  # 0 ->c {1|2} ->c 3 ->c 4
+
+    def test_equal_preference_ties_break_on_cost(self):
+        g = small_topology()
+        b2 = valley_free_algebra()
+        routes = bgp_routes(g, b2, 3)
+        # 3 -> 4: 3 ->p 1 ->c 4 (2 hops) preferred over longer alternatives
+        assert routes[3 + 1].cost == 2
+
+
+class TestReachability:
+    def test_reachable_sets_match_routes(self):
+        graph = small_topology()
+        algebra = valley_free_algebra()
+        reachable = valley_free_reachable_sets(graph)
+        for source in graph.nodes():
+            assert reachable[source] == set(bgp_routes(graph, algebra, source))
+
+    def test_provider_tree_fully_reachable(self):
+        graph = provider_tree_topology(12, rng=random.Random(2))
+        reachable = valley_free_reachable_sets(graph)
+        n = graph.number_of_nodes()
+        assert all(len(r) == n - 1 for r in reachable.values())
+
+    def test_two_isolated_roots_unreachable(self):
+        g = nx.DiGraph()
+        add_relationship(g, 2, 0)
+        add_relationship(g, 3, 1)
+        reachable = valley_free_reachable_sets(g)
+        assert 1 not in reachable[0]
+        assert 3 not in reachable[0]
+
+
+class TestAllPairs:
+    def test_all_pairs_shape(self):
+        graph = coned_as_topology(2, 2, 2, rng=random.Random(3))
+        routes = all_pairs_bgp_routes(graph, valley_free_algebra())
+        n = graph.number_of_nodes()
+        assert len(routes) == n
+        assert all(len(per_source) == n - 1 for per_source in routes.values())
+
+
+class TestPrefixStabilityGuard:
+    def test_non_prefix_stable_table_rejected(self):
+        bad = BGPAlgebra(
+            "bad",
+            ("a", "b"),
+            {("a", "a"): "b", ("a", "b"): "a", ("b", "a"): "b", ("b", "b"): "b"},
+            {"a": 0, "b": 0},
+        )
+        g = nx.DiGraph()
+        g.add_edge(0, 1, weight="a")
+        with pytest.raises(AlgebraError):
+            bgp_routes(g, bad, 0)

@@ -1,0 +1,104 @@
+"""Tests for the BAD GADGET dispute wheel."""
+
+import random
+
+import pytest
+
+from repro.algebra.base import PHI, is_phi
+from repro.algebra.properties import check_monotone, empirical_profile
+from repro.protocols.disputes import (
+    AROUND,
+    AROUND_THEN_DIRECT,
+    DIRECT,
+    DisputeWheelAlgebra,
+    bad_gadget,
+)
+from repro.protocols.path_vector import PathVectorSimulation
+
+
+class TestAlgebra:
+    def setup_method(self):
+        self.algebra = DisputeWheelAlgebra()
+
+    def test_the_one_traversable_composition(self):
+        assert self.algebra.combine(AROUND, DIRECT) == AROUND_THEN_DIRECT
+        assert is_phi(self.algebra.combine(AROUND, AROUND_THEN_DIRECT))
+        assert is_phi(self.algebra.combine(DIRECT, DIRECT))
+        assert is_phi(self.algebra.combine(AROUND, AROUND))
+
+    def test_preference_ranking(self):
+        assert self.algebra.lt(AROUND_THEN_DIRECT, DIRECT)
+        assert self.algebra.lt(DIRECT, AROUND)
+
+    def test_non_monotone_exhaustively(self):
+        """The violation at the heart of the oscillation: prepending H to L
+        strictly improves the route."""
+        result = check_monotone(self.algebra)
+        assert result.exhaustive
+        assert not result.holds
+        profile = empirical_profile(self.algebra)
+        assert not profile.monotone
+
+    def test_topology(self):
+        g = bad_gadget(3)
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 6
+        assert g[1][0]["weight"] == DIRECT
+        assert g[1][2]["weight"] == AROUND
+        assert g[3][1]["weight"] == AROUND  # wraps around
+
+    def test_topology_validation(self):
+        with pytest.raises(ValueError):
+            bad_gadget(2)
+
+
+class TestOscillation:
+    def test_bad_gadget_diverges(self):
+        """Griffin-Shepherd-Wilfong: no stable state exists, so the protocol
+        oscillates until the activation budget stops it."""
+        sim = PathVectorSimulation(bad_gadget(3), DisputeWheelAlgebra(),
+                                   max_activations=20_000)
+        report = sim.run()
+        assert not report.converged
+        assert report.changed_routes > 1000  # genuine oscillation, not stall
+
+    def test_no_stable_state_exists_for_odd_wheels(self):
+        """Exhaustively: no assignment of {direct, via-neighbor} to the rim
+        is simultaneously stable on an odd wheel."""
+        import itertools
+
+        spokes = 3
+        for assignment in itertools.product((DIRECT, AROUND_THEN_DIRECT),
+                                            repeat=spokes):
+            stable = True
+            for i in range(spokes):
+                clockwise = (i + 1) % spokes
+                # via-neighbor is available iff the neighbor routes direct,
+                # and when available it is strictly preferred
+                via_available = assignment[clockwise] == DIRECT
+                best = AROUND_THEN_DIRECT if via_available else DIRECT
+                if assignment[i] != best:
+                    stable = False
+                    break
+            assert not stable, assignment
+
+    def test_even_wheel_converges(self):
+        """With 4 rim nodes a stable alternating assignment exists; a
+        randomized schedule breaks the symmetry and finds it.  (A perfectly
+        synchronous schedule can orbit between the two stable states —
+        convergence is scheduling-dependent once monotonicity fails, which
+        is itself part of the Griffin-Shepherd-Wilfong story.)"""
+        sim = PathVectorSimulation(bad_gadget(4), DisputeWheelAlgebra(),
+                                   rng=random.Random(1), max_activations=20_000)
+        report = sim.run()
+        assert report.converged
+        assert sim.is_stable()
+        rim_choices = [sim.route(i, 0).weight for i in range(1, 5)]
+        assert sorted(rim_choices) == sorted(
+            [DIRECT, AROUND_THEN_DIRECT, DIRECT, AROUND_THEN_DIRECT]
+        )
+
+    def test_randomized_scheduling_still_diverges(self):
+        sim = PathVectorSimulation(bad_gadget(3), DisputeWheelAlgebra(),
+                                   rng=random.Random(0), max_activations=20_000)
+        assert not sim.run().converged

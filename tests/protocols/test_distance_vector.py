@@ -1,0 +1,133 @@
+"""Tests for the distance-vector protocol and the Proposition 2 gap."""
+
+import random
+
+import pytest
+
+from repro.algebra.base import PHI, is_phi
+from repro.algebra.catalog import MostReliablePath, ShortestPath, WidestPath
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.exceptions import RoutingError
+from repro.graphs.generators import erdos_renyi, grid, ring
+from repro.graphs.weighting import assign_random_weights
+from repro.paths.dijkstra import preferred_path_tree
+from repro.paths.shortest_widest import all_pairs_shortest_widest
+from repro.protocols.distance_vector import (
+    DistanceVectorSimulation,
+    suboptimality_report,
+)
+
+
+REGULAR = [
+    ShortestPath(max_weight=9),
+    WidestPath(max_capacity=9),
+    MostReliablePath(denominator=8),
+    widest_shortest_path(max_weight=9, max_capacity=9),
+]
+
+
+class TestRegularConvergence:
+    @pytest.mark.parametrize("algebra", REGULAR, ids=lambda a: a.name)
+    def test_converges_to_preferred_weights(self, algebra):
+        rng = random.Random(0)
+        graph = erdos_renyi(16, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        sim = DistanceVectorSimulation(graph, algebra)
+        report = sim.run()
+        assert report.converged
+        for root in (0, 9):
+            tree = preferred_path_tree(graph, algebra, root)
+            for target in graph.nodes():
+                if target != root:
+                    assert algebra.eq(sim.weight(root, target), tree.weight[target])
+
+    def test_forwarding_paths_realize_weights(self):
+        algebra = ShortestPath(max_weight=9)
+        graph = grid(4, 4)
+        assign_random_weights(graph, algebra, rng=random.Random(1))
+        sim = DistanceVectorSimulation(graph, algebra)
+        assert sim.run().converged
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s == t:
+                    continue
+                path = sim.forwarding_path(s, t)
+                assert path[0] == s and path[-1] == t
+                assert algebra.eq(
+                    algebra.path_weight(graph, list(path)), sim.weight(s, t)
+                )
+
+    def test_round_count_bounded_by_diameter(self):
+        """Bellman-Ford style: weights settle within ~diameter rounds."""
+        algebra = ShortestPath(max_weight=9)
+        graph = ring(12)  # diameter 6
+        assign_random_weights(graph, algebra, rng=random.Random(2))
+        sim = DistanceVectorSimulation(graph, algebra)
+        report = sim.run()
+        assert report.converged
+        assert report.rounds <= 12 + 2
+
+    def test_unreachable_destinations_stay_empty(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1)
+        graph.add_node(2)
+        sim = DistanceVectorSimulation(graph, ShortestPath())
+        assert sim.run().converged
+        assert is_phi(sim.weight(0, 2))
+        assert sim.next_hop(0, 2) is None
+        with pytest.raises(RoutingError):
+            sim.forwarding_path(0, 2)
+
+
+class TestProposition2Gap:
+    """Hop-by-hop routing is exact iff the algebra is regular."""
+
+    def test_sw_distance_vector_is_suboptimal(self):
+        algebra = shortest_widest_path(max_weight=9, max_capacity=9)
+        found_gap = False
+        for seed in (0, 1, 3):
+            rng = random.Random(seed)
+            graph = erdos_renyi(14, rng=rng)
+            assign_random_weights(graph, algebra, rng=random.Random(seed + 100))
+            routes = all_pairs_shortest_widest(graph)
+
+            def oracle(s, t):
+                return routes[s][t].weight if t in routes[s] else PHI
+
+            report = suboptimality_report(graph, algebra, oracle)
+            assert report["optimal"] + report["suboptimal"] > 0
+            if report["suboptimal"] > 0:
+                found_gap = True
+        assert found_gap, "SW distance-vector never deviated — Prop 2 gap missing"
+
+    def test_bgp_distance_vector_may_oscillate(self):
+        """Why BGP is path-vector: without loop suppression, mutually
+        dependent peer routes advertise, compose to phi on import, get
+        withdrawn and rediscovered — the round budget cuts the oscillation
+        off and reports non-convergence honestly."""
+        from repro.algebra.bgp import valley_free_algebra
+        from repro.graphs.bgp_topologies import coned_as_topology
+
+        graph = coned_as_topology(2, 2, 3, rng=random.Random(31))
+        sim = DistanceVectorSimulation(graph, valley_free_algebra())
+        report = sim.run()
+        assert not report.converged
+
+    def test_regular_algebras_have_no_gap(self):
+        algebra = widest_shortest_path(max_weight=9, max_capacity=9)
+        rng = random.Random(4)
+        graph = erdos_renyi(14, rng=rng)
+        assign_random_weights(graph, algebra, rng=random.Random(104))
+        trees = {
+            node: preferred_path_tree(graph, algebra, node)
+            for node in graph.nodes()
+        }
+
+        def oracle(s, t):
+            return trees[s].weight.get(t, PHI)
+
+        report = suboptimality_report(graph, algebra, oracle)
+        assert report["suboptimal"] == 0
+        assert report["unreachable"] == 0

@@ -1,0 +1,93 @@
+"""Tests for the link-state protocol."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algebra.base import is_phi
+from repro.algebra.catalog import ShortestPath, WidestPath
+from repro.exceptions import RoutingError
+from repro.graphs.generators import erdos_renyi, path_graph, ring
+from repro.graphs.weighting import assign_random_weights
+from repro.paths.dijkstra import preferred_path_tree
+from repro.protocols.link_state import LinkStateSimulation
+
+
+class TestFlooding:
+    @pytest.mark.parametrize("algebra", [ShortestPath(max_weight=9),
+                                         WidestPath(max_capacity=9)],
+                             ids=lambda a: a.name)
+    def test_routes_match_dijkstra(self, algebra):
+        rng = random.Random(0)
+        graph = erdos_renyi(16, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        sim = LinkStateSimulation(graph, algebra)
+        assert sim.run().converged
+        for source in (0, 7):
+            tree = preferred_path_tree(graph, algebra, source)
+            for target in graph.nodes():
+                if target == source:
+                    continue
+                assert algebra.eq(sim.weight(source, target), tree.weight[target])
+                path = sim.path(source, target)
+                assert path[0] == source and path[-1] == target
+
+    def test_rounds_bounded_by_eccentricity(self):
+        algebra = ShortestPath(max_weight=9)
+        graph = path_graph(10)  # worst case: LSAs travel the full line
+        assign_random_weights(graph, algebra, rng=random.Random(1))
+        sim = LinkStateSimulation(graph, algebra)
+        report = sim.run()
+        assert report.converged
+        assert report.rounds <= 10
+
+    def test_disconnected_reports_incomplete(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1)
+        graph.add_edge(2, 3, weight=1)
+        sim = LinkStateSimulation(graph, ShortestPath())
+        report = sim.run()
+        assert not report.converged
+        # routes within the component still work
+        assert sim.weight(0, 1) == 1
+        assert is_phi(sim.weight(0, 2))
+
+    def test_query_before_run_raises(self):
+        graph = ring(4)
+        assign_random_weights(graph, ShortestPath(), rng=random.Random(2))
+        sim = LinkStateSimulation(graph, ShortestPath())
+        with pytest.raises(RoutingError):
+            sim.weight(0, 1)
+
+    def test_rejects_directed(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1, weight=1)
+        with pytest.raises(RoutingError):
+            LinkStateSimulation(g, ShortestPath())
+
+
+class TestMemoryStory:
+    def test_lsdb_dwarfs_routing_table(self):
+        """The link-state trade-off: total state is Theta(m log W), more
+        than even the incompressible destination table."""
+        from repro.routing.destination_table import DestinationTableScheme
+        from repro.routing.memory import memory_report
+
+        algebra = ShortestPath(max_weight=9)
+        graph = erdos_renyi(48, rng=random.Random(3))
+        assign_random_weights(graph, algebra, rng=random.Random(4))
+        sim = LinkStateSimulation(graph, algebra)
+        assert sim.run().converged
+        table_bits = memory_report(DestinationTableScheme(graph, algebra)).max_bits
+        lsdb_bits = max(sim.lsdb_bits(v) for v in graph.nodes())
+        assert lsdb_bits > table_bits
+
+    def test_every_node_converges_to_the_same_lsdb(self):
+        algebra = ShortestPath(max_weight=9)
+        graph = erdos_renyi(12, rng=random.Random(5))
+        assign_random_weights(graph, algebra, rng=random.Random(6))
+        sim = LinkStateSimulation(graph, algebra)
+        assert sim.run().converged
+        databases = {frozenset(db) for db in sim._lsdb.values()}
+        assert len(databases) == 1

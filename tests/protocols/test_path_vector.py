@@ -1,0 +1,171 @@
+"""Tests for the asynchronous path-vector protocol."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algebra.base import is_phi
+from repro.algebra.catalog import MostReliablePath, ShortestPath, WidestPath
+from repro.algebra.lexicographic import widest_shortest_path
+from repro.algebra.bgp import (
+    prefer_customer_algebra,
+    provider_customer_algebra,
+    valley_free_algebra,
+)
+from repro.exceptions import RoutingError
+from repro.graphs.bgp_topologies import coned_as_topology, provider_tree_topology
+from repro.graphs.generators import erdos_renyi, grid, ring
+from repro.graphs.weighting import assign_random_weights
+from repro.paths.dijkstra import preferred_path_tree
+from repro.paths.valley_free import bgp_routes
+from repro.protocols.path_vector import PathVectorSimulation
+
+
+REGULAR = [
+    ShortestPath(max_weight=9),
+    WidestPath(max_capacity=9),
+    MostReliablePath(denominator=8),
+    widest_shortest_path(max_weight=9, max_capacity=9),
+]
+
+
+class TestConvergenceOnRegularAlgebras:
+    @pytest.mark.parametrize("algebra", REGULAR, ids=lambda a: a.name)
+    def test_converges_to_dijkstra(self, algebra):
+        rng = random.Random(0)
+        graph = erdos_renyi(16, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        sim = PathVectorSimulation(graph, algebra)
+        report = sim.run()
+        assert report.converged
+        assert sim.is_stable()
+        for root in (0, 7):
+            tree = preferred_path_tree(graph, algebra, root)
+            for target in graph.nodes():
+                if target == root:
+                    continue
+                route = sim.route(root, target)
+                assert route is not None
+                assert algebra.eq(route.weight, tree.weight[target]), (root, target)
+
+    def test_adversarial_scheduling_same_fixed_point(self):
+        algebra = ShortestPath(max_weight=9)
+        graph = grid(4, 4)
+        assign_random_weights(graph, algebra, rng=random.Random(1))
+        fifo = PathVectorSimulation(graph, algebra)
+        assert fifo.run().converged
+        shuffled = PathVectorSimulation(graph, algebra, rng=random.Random(2))
+        assert shuffled.run().converged
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s == t:
+                    continue
+                assert algebra.eq(fifo.route(s, t).weight, shuffled.route(s, t).weight)
+
+    def test_routes_carry_consistent_paths(self):
+        algebra = ShortestPath(max_weight=9)
+        graph = ring(8)
+        assign_random_weights(graph, algebra, rng=random.Random(3))
+        sim = PathVectorSimulation(graph, algebra)
+        sim.run()
+        for s in graph.nodes():
+            for t, route in sim.routes_from(s).items():
+                assert route.path[0] == s and route.path[-1] == t
+                assert algebra.eq(
+                    algebra.path_weight(graph, list(route.path)), route.weight
+                )
+
+
+class TestBGPConvergence:
+    @pytest.mark.parametrize(
+        "algebra",
+        [provider_customer_algebra(), valley_free_algebra(), prefer_customer_algebra()],
+        ids=lambda a: a.name,
+    )
+    def test_converges_and_matches_automaton(self, algebra):
+        graph = coned_as_topology(3, 2, 4, rng=random.Random(4))
+        sim = PathVectorSimulation(graph, algebra)
+        report = sim.run()
+        assert report.converged and sim.is_stable()
+        for source in graph.nodes():
+            truth = bgp_routes(graph, algebra, source)
+            mine = sim.routes_from(source)
+            assert set(mine) == set(truth)
+            for target, route in mine.items():
+                assert algebra.eq(route.weight, truth[target].label), (source, target)
+
+    def test_b4_tuple_weights(self):
+        """B4 = B3 x S over the protocol: arcs carry (label, cost) pairs."""
+        from repro.algebra.bgp import bgp_full_algebra
+
+        graph = coned_as_topology(2, 2, 3, rng=random.Random(9))
+        for u, v, data in graph.edges(data=True):
+            data["weight"] = (data["weight"], 1)
+        algebra = bgp_full_algebra()
+        sim = PathVectorSimulation(graph, algebra)
+        report = sim.run()
+        assert report.converged and sim.is_stable()
+        for s in list(graph.nodes())[:4]:
+            for t, route in sim.routes_from(s).items():
+                label, cost = route.weight
+                assert label in ("c", "r", "p")
+                assert cost == len(route.path) - 1  # unit costs = hops
+
+    def test_realized_paths_are_valley_free(self):
+        algebra = valley_free_algebra()
+        graph = provider_tree_topology(20, rng=random.Random(5), max_providers=2)
+        sim = PathVectorSimulation(graph, algebra)
+        sim.run()
+        for s in graph.nodes():
+            for route in sim.routes_from(s).values():
+                assert not is_phi(algebra.path_weight(graph, list(route.path)))
+
+
+class TestFailureReconvergence:
+    def test_reroutes_after_edge_failure(self):
+        algebra = ShortestPath(max_weight=9)
+        graph = ring(8)  # ring: failure forces the long way around
+        assign_random_weights(graph, algebra, rng=random.Random(6))
+        sim = PathVectorSimulation(graph, algebra)
+        sim.run()
+        before = sim.route(0, 1)
+        assert before.path == (0, 1)
+        sim.fail_edge(0, 1)
+        report = sim.run()
+        assert report.converged and sim.is_stable()
+        after = sim.route(0, 1)
+        assert after is not None
+        assert after.path == (0, 7, 6, 5, 4, 3, 2, 1)
+
+    def test_partition_withdraws_routes(self):
+        algebra = ShortestPath(max_weight=9)
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1)
+        graph.add_edge(1, 2, weight=1)
+        sim = PathVectorSimulation(graph, algebra)
+        sim.run()
+        assert sim.route(0, 2) is not None
+        sim.fail_edge(1, 2)
+        assert sim.run().converged
+        assert sim.route(0, 2) is None
+        assert sim.route(2, 0) is None
+
+    def test_failing_missing_edge_raises(self):
+        graph = ring(4)
+        assign_random_weights(graph, ShortestPath(), rng=random.Random(7))
+        sim = PathVectorSimulation(graph, ShortestPath())
+        with pytest.raises(RoutingError):
+            sim.fail_edge(0, 2)
+
+
+class TestAccounting:
+    def test_message_and_activation_counts_positive(self):
+        algebra = ShortestPath(max_weight=9)
+        graph = grid(3, 3)
+        assign_random_weights(graph, algebra, rng=random.Random(8))
+        sim = PathVectorSimulation(graph, algebra)
+        report = sim.run()
+        assert report.activations > 0
+        assert report.messages >= report.changed_routes
+        assert "converged" in report.summary()

@@ -1,0 +1,109 @@
+"""Tests for the distributed spanning tree protocol (footnote 5)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algebra.catalog import UsablePath
+from repro.exceptions import GraphError
+from repro.graphs.generators import erdos_renyi, grid, ring, star
+from repro.graphs.weighting import assign_uniform_weight
+from repro.protocols.spanning_tree import SpanningTreeProtocol, stp_tree
+from repro.routing.tree_routing import TreeRoutingScheme
+
+
+class TestElection:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_converges_to_spanning_tree(self, seed):
+        graph = erdos_renyi(24, rng=random.Random(seed))
+        protocol = SpanningTreeProtocol(graph)
+        report = protocol.run()
+        assert report.converged
+        tree = protocol.tree()
+        assert tree.number_of_edges() == graph.number_of_nodes() - 1
+        assert nx.is_connected(tree)
+        assert set(tree.edges()) <= {tuple(sorted(e)) for e in graph.edges()} | set(graph.edges())
+
+    def test_minimum_id_bridge_wins(self):
+        graph = ring(9)
+        protocol = SpanningTreeProtocol(graph)
+        protocol.run()
+        assert protocol.root == 0
+
+    def test_root_ports_point_toward_root(self):
+        """Every bridge's tree path to the root uses BFS-optimal hop counts."""
+        graph = grid(4, 4)
+        protocol = SpanningTreeProtocol(graph)
+        protocol.run()
+        tree = protocol.tree()
+        bfs_dist = nx.single_source_shortest_path_length(graph, protocol.root)
+        tree_dist = nx.single_source_shortest_path_length(tree, protocol.root)
+        assert bfs_dist == tree_dist
+
+    def test_blocked_edges_complement_the_tree(self):
+        graph = ring(6)
+        protocol = SpanningTreeProtocol(graph)
+        protocol.run()
+        blocked = protocol.blocked_edges()
+        assert len(blocked) == graph.number_of_edges() - (graph.number_of_nodes() - 1)
+
+    def test_custom_link_costs_respected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, cost=10)
+        graph.add_edge(0, 2, cost=1)
+        graph.add_edge(2, 1, cost=1)
+        protocol = SpanningTreeProtocol(graph, cost_attr="cost")
+        protocol.run()
+        tree = protocol.tree()
+        # bridge 1 reaches root 0 via 2 (cost 2) instead of directly (10)
+        assert tree.has_edge(1, 2) and tree.has_edge(2, 0)
+        assert not tree.has_edge(0, 1)
+
+
+class TestGuardrails:
+    def test_rejects_directed(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            SpanningTreeProtocol(g)
+
+    def test_rejects_disconnected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        with pytest.raises(GraphError):
+            SpanningTreeProtocol(g)
+
+    def test_tree_before_run_raises(self):
+        protocol = SpanningTreeProtocol(ring(4))
+        with pytest.raises(GraphError):
+            protocol.tree()
+
+
+class TestFootnote5:
+    """Ethernet = usable-path routing over the STP tree (Theorem 1)."""
+
+    def test_stp_tree_drives_compact_usable_path_routing(self):
+        graph = erdos_renyi(20, rng=random.Random(7))
+        assign_uniform_weight(graph, 1)
+        tree = stp_tree(graph)
+        scheme = TreeRoutingScheme(graph, UsablePath(), tree=tree,
+                                   check_properties=False)
+        algebra = UsablePath()
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s == t:
+                    continue
+                result = scheme.route(s, t)
+                assert result.delivered
+                # every delivered path is a preferred usable path
+                assert algebra.path_weight(graph, list(result.path)) == 1
+
+    def test_single_bridge_lan(self):
+        g = nx.Graph()
+        g.add_node(0)
+        protocol = SpanningTreeProtocol(g)
+        report = protocol.run()
+        assert report.converged and protocol.root == 0
+        assert protocol.tree().number_of_nodes() == 1

@@ -1,0 +1,103 @@
+"""Tests for RIB-based forwarding over converged path-vector state."""
+
+import random
+
+import pytest
+
+from repro.algebra.base import is_phi
+from repro.algebra.bgp import (
+    bgp_full_algebra,
+    prefer_customer_algebra,
+    valley_free_algebra,
+)
+from repro.algebra.catalog import ShortestPath
+from repro.exceptions import NotApplicableError
+from repro.graphs.bgp_topologies import coned_as_topology, tiered_as_topology
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weighting import WEIGHT_ATTR, assign_random_weights
+from repro.paths.valley_free import bgp_routes
+from repro.protocols.path_vector import PathVectorSimulation
+from repro.routing.bgp_rib import RIBScheme
+from repro.routing.memory import memory_report
+
+
+def _converged(graph, algebra):
+    sim = PathVectorSimulation(graph, algebra)
+    assert sim.run().converged
+    return sim
+
+
+class TestB3RIB:
+    """Ranked policies get a working (linear-memory) routing function."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_delivers_on_stable_routes(self, seed):
+        algebra = prefer_customer_algebra()
+        graph = coned_as_topology(3, 2, 4, rng=random.Random(seed))
+        sim = _converged(graph, algebra)
+        scheme = RIBScheme(sim)
+        for s in graph.nodes():
+            for t, route in sim.routes_from(s).items():
+                result = scheme.route(s, t)
+                assert result.delivered, (s, t)
+                # forwarding follows the advertisement chain: realized path
+                # weight equals the stable route's weight
+                realized = algebra.path_weight(graph, list(result.path))
+                assert algebra.eq(realized, route.weight)
+                assert not is_phi(realized)
+
+    def test_stable_routes_match_global_optimum_on_hierarchies(self):
+        """On Gao-Rexford hierarchies B3's stable state IS the optimum."""
+        algebra = prefer_customer_algebra()
+        graph = tiered_as_topology(tier1=2, tier2=3, stubs=5, rng=random.Random(2))
+        sim = _converged(graph, algebra)
+        scheme = RIBScheme(sim)
+        for s in graph.nodes():
+            truth = bgp_routes(graph, algebra, s)
+            for t, route in truth.items():
+                assert algebra.eq(scheme.stable_route(s, t).weight, route.label)
+
+    def test_b4_with_costs(self):
+        """B4 = B3 x S: arcs carry (label, cost); RIB forwarding works."""
+        graph = coned_as_topology(2, 2, 3, rng=random.Random(3))
+        # annotate costs: weight becomes (label, 1)
+        for u, v, data in graph.edges(data=True):
+            data[WEIGHT_ATTR] = (data[WEIGHT_ATTR], 1)
+        algebra = bgp_full_algebra()
+        sim = _converged(graph, algebra)
+        scheme = RIBScheme(sim)
+        for s in list(graph.nodes())[:4]:
+            for t, route in sim.routes_from(s).items():
+                result = scheme.route(s, t)
+                assert result.delivered
+                assert result.hops == route.weight[1]  # unit costs = hops
+
+
+class TestMemoryAndGuards:
+    def test_linear_memory_like_a_real_rib(self):
+        algebra = valley_free_algebra()
+        graph = coned_as_topology(3, 3, 6, rng=random.Random(4))
+        scheme = RIBScheme(_converged(graph, algebra))
+        n = graph.number_of_nodes()
+        report = memory_report(scheme)
+        # ~n entries of ~(log n + log d) bits each
+        assert report.max_bits >= (n - 1) * n.bit_length() // 2
+
+    def test_requires_stable_state(self):
+        from repro.protocols.disputes import DisputeWheelAlgebra, bad_gadget
+
+        sim = PathVectorSimulation(bad_gadget(3), DisputeWheelAlgebra(),
+                                   max_activations=2000)
+        sim.run()  # diverges
+        with pytest.raises(NotApplicableError):
+            RIBScheme(sim)
+
+    def test_works_for_section2_algebras_too(self):
+        algebra = ShortestPath(max_weight=9)
+        graph = erdos_renyi(12, rng=random.Random(5))
+        assign_random_weights(graph, algebra, rng=random.Random(6))
+        scheme = RIBScheme(_converged(graph, algebra))
+        from repro.core.simulate import evaluate_scheme
+
+        report = evaluate_scheme(graph, algebra, scheme)
+        assert report.all_delivered and report.all_optimal

@@ -1,0 +1,127 @@
+"""Tests for the Theorem 6 / Theorem 7 compact BGP schemes."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algebra.base import is_phi
+from repro.algebra.bgp import (
+    CUSTOMER,
+    provider_customer_algebra,
+    valley_free_algebra,
+)
+from repro.exceptions import NotApplicableError
+from repro.graphs.bgp_topologies import (
+    add_peering,
+    add_relationship,
+    coned_as_topology,
+    provider_tree_topology,
+)
+from repro.routing.bgp_schemes import B1TreeScheme, B2ConeScheme
+from repro.routing.memory import memory_report
+
+
+class TestB1TreeScheme:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_delivers_valley_free_paths(self, seed):
+        algebra = provider_customer_algebra()
+        graph = provider_tree_topology(25, rng=random.Random(seed), max_providers=3)
+        scheme = B1TreeScheme(graph, algebra)
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s == t:
+                    continue
+                result = scheme.route(s, t)
+                assert result.delivered, (s, t, result.reason)
+                weight = algebra.path_weight(graph, list(result.path))
+                assert not is_phi(weight), (s, t, result.path)
+
+    def test_memory_is_logarithmic(self):
+        """Theorem 6: compressible — per-node bits stay ~log n."""
+        maxima = []
+        for n in (32, 128, 512):
+            graph = provider_tree_topology(n, rng=random.Random(3), max_providers=2)
+            scheme = B1TreeScheme(graph, provider_customer_algebra())
+            maxima.append(memory_report(scheme).max_bits)
+        assert maxima[2] <= maxima[0] + 32  # additive growth only
+
+    def test_rejects_two_roots(self):
+        g = nx.DiGraph()
+        add_relationship(g, 2, 0)
+        add_relationship(g, 3, 1)  # two provider-less roots: violates A1
+        with pytest.raises(NotApplicableError):
+            B1TreeScheme(g, provider_customer_algebra())
+
+    def test_rejects_provider_cycle(self):
+        g = nx.DiGraph()
+        add_relationship(g, 0, 1)
+        add_relationship(g, 1, 2)
+        add_relationship(g, 2, 0)  # p-cycle: violates A2
+        with pytest.raises(NotApplicableError):
+            B1TreeScheme(g, provider_customer_algebra())
+
+
+class TestB2ConeScheme:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_delivers_valley_free_paths(self, seed):
+        algebra = valley_free_algebra()
+        graph = coned_as_topology(3, 3, 5, rng=random.Random(seed))
+        scheme = B2ConeScheme(graph, algebra)
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s == t:
+                    continue
+                result = scheme.route(s, t)
+                assert result.delivered, (s, t, result.reason)
+                weight = algebra.path_weight(graph, list(result.path))
+                assert not is_phi(weight), (s, t, result.path)
+
+    def test_cross_cone_route_uses_one_peer_arc(self):
+        graph = coned_as_topology(2, 2, 3, rng=random.Random(2))
+        scheme = B2ConeScheme(graph, valley_free_algebra())
+        # pick a stub in each cone
+        stubs = [n for n in graph.nodes() if scheme.root_of[n] == 0][-1], \
+                [n for n in graph.nodes() if scheme.root_of[n] == 1][-1]
+        result = scheme.route(stubs[0], stubs[1])
+        assert result.delivered
+        labels = [graph[u][v]["weight"] for u, v in zip(result.path, result.path[1:])]
+        assert labels.count("r") == 1
+
+    def test_memory_is_logarithmic(self):
+        import math
+
+        for scale in (2, 8, 32):
+            graph = coned_as_topology(3, scale, 3 * scale, rng=random.Random(4))
+            n = graph.number_of_nodes()
+            scheme = B2ConeScheme(graph, valley_free_algebra())
+            max_bits = memory_report(scheme).max_bits
+            # Theorem 7: O(log n) — check against a generous constant times
+            # log2 n; at the largest size also confirm it is far below n.
+            assert max_bits <= 14 * math.log2(n), (n, max_bits)
+            if n > 300:
+                assert max_bits < n / 4
+
+    def test_rejects_overlapping_cones(self):
+        g = nx.DiGraph()
+        add_peering(g, 0, 1)
+        add_relationship(g, 2, 0)
+        add_relationship(g, 2, 1)  # node 2 multihomes across both cones
+        with pytest.raises(NotApplicableError):
+            B2ConeScheme(g, valley_free_algebra())
+
+    def test_rejects_missing_peer_mesh(self):
+        g = nx.DiGraph()
+        g.add_nodes_from([0, 1])
+        add_relationship(g, 2, 0)
+        add_relationship(g, 3, 1)  # two roots, no peering between them
+        with pytest.raises(NotApplicableError):
+            B2ConeScheme(g, valley_free_algebra())
+
+    def test_single_cone_degenerates_to_b1(self):
+        graph = provider_tree_topology(15, rng=random.Random(5))
+        scheme = B2ConeScheme(graph, valley_free_algebra())
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s != t:
+                    assert scheme.route(s, t).delivered

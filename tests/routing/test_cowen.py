@@ -1,0 +1,161 @@
+"""Tests for the generalized Cowen stretch-3 scheme (Theorem 3)."""
+
+import random
+
+import pytest
+
+from repro.algebra.catalog import MostReliablePath, ShortestPath, WidestPath
+from repro.algebra.lexicographic import shortest_widest_path, widest_shortest_path
+from repro.algebra.bgp import provider_customer_algebra
+from repro.exceptions import NotApplicableError
+from repro.graphs.generators import barabasi_albert, erdos_renyi, grid
+from repro.graphs.weighting import assign_random_weights
+from repro.routing.cowen import CowenScheme
+from repro.routing.memory import memory_report
+from repro.routing.stretch import measure_stretch
+
+
+def _evaluate(graph, algebra, scheme):
+    samples = []
+    for s in graph.nodes():
+        for t in graph.nodes():
+            if s == t:
+                continue
+            result = scheme.route(s, t)
+            assert result.delivered, (s, t, result.reason)
+            samples.append((
+                scheme.preferred_weight(s, t),
+                algebra.path_weight(graph, list(result.path)),
+            ))
+    return measure_stretch(algebra, samples, scheme.name)
+
+
+REGULAR_DELIMITED = [
+    ShortestPath(max_weight=9),
+    MostReliablePath(denominator=8),
+    widest_shortest_path(max_weight=9, max_capacity=9),
+]
+
+
+class TestTheorem3Stretch:
+    @pytest.mark.parametrize("algebra", REGULAR_DELIMITED, ids=lambda a: a.name)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_stretch_at_most_3_on_er(self, algebra, seed):
+        rng = random.Random(seed)
+        graph = erdos_renyi(18, p=0.25, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = CowenScheme(graph, algebra, rng=random.Random(seed + 100))
+        report = _evaluate(graph, algebra, scheme)
+        assert report.stretch3_holds, report.summary()
+
+    def test_stretch_at_most_3_on_scale_free(self):
+        algebra = ShortestPath(max_weight=9)
+        rng = random.Random(2)
+        graph = barabasi_albert(40, m=2, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = CowenScheme(graph, algebra, rng=random.Random(3))
+        report = _evaluate(graph, algebra, scheme)
+        assert report.stretch3_holds
+
+    def test_selective_algebra_routes_optimally(self):
+        """For W, stretch-3 paths ARE preferred paths (Section 4), so the
+        scheme must be exact."""
+        algebra = WidestPath(max_capacity=9)
+        rng = random.Random(4)
+        graph = erdos_renyi(16, p=0.3, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = CowenScheme(graph, algebra, rng=random.Random(5))
+        report = _evaluate(graph, algebra, scheme)
+        assert report.max_stretch == 1
+        assert report.unbounded == 0
+
+
+class TestLandmarkStrategies:
+    @pytest.mark.parametrize("strategy", ["random", "cowen", "degree"])
+    def test_every_strategy_delivers(self, strategy):
+        algebra = ShortestPath(max_weight=9)
+        rng = random.Random(6)
+        graph = erdos_renyi(20, p=0.25, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = CowenScheme(graph, algebra, strategy=strategy, rng=random.Random(7))
+        report = _evaluate(graph, algebra, scheme)
+        assert report.stretch3_holds
+
+    def test_cowen_strategy_caps_clusters(self):
+        algebra = ShortestPath(max_weight=9)
+        rng = random.Random(8)
+        graph = erdos_renyi(40, p=0.15, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        threshold = 12
+        scheme = CowenScheme(graph, algebra, strategy="cowen",
+                             rng=random.Random(9), cluster_threshold=threshold)
+        assert scheme.max_cluster_size() <= threshold
+
+    def test_explicit_landmarks(self):
+        algebra = ShortestPath(max_weight=9)
+        rng = random.Random(10)
+        graph = grid(4, 4)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = CowenScheme(graph, algebra, landmarks={0, 15})
+        assert scheme.landmarks == {0, 15}
+        assert _evaluate(graph, algebra, scheme).stretch3_holds
+
+    def test_unknown_strategy_rejected(self):
+        graph = grid(2, 2)
+        assign_random_weights(graph, ShortestPath(), rng=random.Random(0))
+        with pytest.raises(NotApplicableError):
+            CowenScheme(graph, ShortestPath(), strategy="astrology")
+
+    def test_empty_landmarks_rejected(self):
+        graph = grid(2, 2)
+        assign_random_weights(graph, ShortestPath(), rng=random.Random(0))
+        with pytest.raises(NotApplicableError):
+            CowenScheme(graph, ShortestPath(), landmarks=set())
+
+
+class TestGuardrails:
+    def test_rejects_non_isotone(self):
+        graph = grid(3, 3)
+        assign_random_weights(graph, shortest_widest_path(), rng=random.Random(1))
+        with pytest.raises(NotApplicableError):
+            CowenScheme(graph, shortest_widest_path())
+
+    def test_rejects_non_delimited(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_edge(0, 1, weight="c")
+        with pytest.raises(NotApplicableError):
+            CowenScheme(g, provider_customer_algebra())
+
+    def test_rejects_disconnected(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1)
+        g.add_node(2)
+        with pytest.raises(NotApplicableError):
+            CowenScheme(g, ShortestPath())
+
+
+class TestLandmarkMembership:
+    def test_landmarks_are_their_own_landmark(self):
+        algebra = ShortestPath(max_weight=9)
+        rng = random.Random(11)
+        graph = erdos_renyi(14, p=0.3, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = CowenScheme(graph, algebra, rng=random.Random(12))
+        for l in scheme.landmarks:
+            assert scheme.landmark_of[l] == l
+            assert scheme.clusters.get(l) is not None  # cluster exists
+
+    def test_labels_carry_landmark(self):
+        algebra = ShortestPath(max_weight=9)
+        rng = random.Random(13)
+        graph = erdos_renyi(12, p=0.35, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = CowenScheme(graph, algebra, rng=random.Random(14))
+        for v in graph.nodes():
+            node, landmark, _ = scheme.label(v)
+            assert node == v
+            assert landmark in scheme.landmarks

@@ -1,0 +1,96 @@
+"""Tests for classic DFS-interval tree routing."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algebra.catalog import UsablePath, WidestPath
+from repro.exceptions import NotApplicableError
+from repro.graphs.generators import erdos_renyi, path_graph, random_tree, star
+from repro.graphs.weighting import assign_random_weights, assign_uniform_weight
+from repro.paths.enumerate import preferred_by_enumeration
+from repro.paths.spanning_tree import tree_path
+from repro.routing.interval_routing import IntervalRoutingScheme
+from repro.routing.memory import memory_report
+from repro.routing.tree_routing import TreeRoutingScheme
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_delivers_on_random_trees(self, seed):
+        tree = random_tree(25, rng=random.Random(seed))
+        assign_uniform_weight(tree, 1)
+        scheme = IntervalRoutingScheme(tree, UsablePath(), tree=tree,
+                                       check_properties=False)
+        for s in tree.nodes():
+            for t in tree.nodes():
+                result = scheme.route(s, t)
+                assert result.delivered, (seed, s, t)
+
+    def test_routes_follow_tree_paths(self):
+        tree = random_tree(20, rng=random.Random(9))
+        assign_uniform_weight(tree, 1)
+        scheme = IntervalRoutingScheme(tree, UsablePath(), tree=tree,
+                                       check_properties=False)
+        for s, t in [(0, 19), (7, 3), (12, 12)]:
+            assert list(scheme.route(s, t).path) == tree_path(tree, s, t)
+
+    @pytest.mark.parametrize("builder", [path_graph, star], ids=["path", "star"])
+    def test_degenerate_trees(self, builder):
+        tree = builder(12)
+        assign_uniform_weight(tree, 1)
+        scheme = IntervalRoutingScheme(tree, UsablePath(), tree=tree,
+                                       check_properties=False)
+        for s in tree.nodes():
+            for t in tree.nodes():
+                assert scheme.route(s, t).delivered
+
+    def test_via_lemma1_tree_optimal_on_widest_path(self):
+        rng = random.Random(10)
+        algebra = WidestPath(max_capacity=9)
+        graph = erdos_renyi(10, p=0.4, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = IntervalRoutingScheme(graph, algebra)
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s == t:
+                    continue
+                result = scheme.route(s, t)
+                assert result.delivered
+                realized = algebra.path_weight(graph, list(result.path))
+                truth = preferred_by_enumeration(graph, algebra, s, t).weight
+                assert algebra.eq(realized, truth)
+
+
+class TestLabelTableTradeoff:
+    """Interval routing: minimal labels, degree-proportional tables —
+    the converse economy of the heavy-path scheme."""
+
+    def test_labels_are_single_ids(self):
+        tree = random_tree(30, rng=random.Random(11))
+        assign_uniform_weight(tree, 1)
+        interval = IntervalRoutingScheme(tree, UsablePath(), tree=tree,
+                                         check_properties=False)
+        heavy = TreeRoutingScheme(tree, UsablePath(), tree=tree,
+                                  check_properties=False)
+        assert all(
+            interval.label_bits(v) <= heavy.label_bits(v) for v in tree.nodes()
+        )
+
+    def test_star_hub_pays_in_table_bits(self):
+        hub_star = star(64)
+        assign_uniform_weight(hub_star, 1)
+        interval = IntervalRoutingScheme(hub_star, UsablePath(), tree=hub_star,
+                                         check_properties=False)
+        heavy = TreeRoutingScheme(hub_star, UsablePath(), tree=hub_star,
+                                  check_properties=False)
+        # degree-63 hub: interval tables scale with degree, heavy-path don't
+        assert interval.table_bits(0) > 4 * heavy.table_bits(0)
+
+    def test_rejects_non_tree(self):
+        cycle = nx.cycle_graph(4)
+        assign_uniform_weight(cycle, 1)
+        with pytest.raises(NotApplicableError):
+            IntervalRoutingScheme(cycle, UsablePath(), tree=cycle,
+                                  check_properties=False)

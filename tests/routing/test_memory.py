@@ -1,0 +1,60 @@
+"""Tests for bit-level memory accounting (Definition 2)."""
+
+import pytest
+
+from repro.routing.memory import (
+    MemoryReport,
+    bits_for_count,
+    label_bits_for_nodes,
+    port_bits,
+    table_bits,
+)
+
+
+class TestBitHelpers:
+    @pytest.mark.parametrize(
+        "count,expected",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (256, 8), (257, 9)],
+    )
+    def test_bits_for_count(self, count, expected):
+        assert bits_for_count(count) == expected
+
+    def test_bits_for_count_validation(self):
+        with pytest.raises(ValueError):
+            bits_for_count(0)
+
+    def test_label_bits(self):
+        assert label_bits_for_nodes(64) == 6
+        assert label_bits_for_nodes(65) == 7
+
+    def test_port_bits(self):
+        assert port_bits(1) == 0
+        assert port_bits(2) == 1
+        assert port_bits(8) == 3
+        assert port_bits(0) == 0  # isolated node stores nothing
+
+    def test_port_bits_validation(self):
+        with pytest.raises(ValueError):
+            port_bits(-1)
+
+    def test_table_bits(self):
+        assert table_bits(10, 6, 3) == 90
+        assert table_bits(0, 6, 3) == 0
+
+    def test_table_bits_validation(self):
+        with pytest.raises(ValueError):
+            table_bits(-1, 6, 3)
+
+
+class TestMemoryReport:
+    def test_aggregates(self):
+        report = MemoryReport("scheme", 3, {0: 10, 1: 30, 2: 20}, max_label_bits=6)
+        assert report.max_bits == 30
+        assert report.total_bits == 60
+        assert report.avg_bits == 20.0
+        assert "scheme" in report.summary()
+
+    def test_empty(self):
+        report = MemoryReport("s", 0, {}, 0)
+        assert report.max_bits == 0
+        assert report.avg_bits == 0.0

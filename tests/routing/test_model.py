@@ -1,0 +1,152 @@
+"""Tests for the routing-function model (Section 2.3)."""
+
+import networkx as nx
+import pytest
+
+from repro.algebra.catalog import ShortestPath
+from repro.exceptions import DeliveryError, RoutingError
+from repro.graphs.generators import ring
+from repro.graphs.weighting import assign_uniform_weight
+from repro.routing.model import Action, Decision, PortMap, RoutingScheme
+
+
+class TestPortMap:
+    def test_ports_numbered_from_one(self):
+        g = ring(4)
+        ports = PortMap(g)
+        assert ports.degree(0) == 2
+        assert sorted([ports.port(0, 1), ports.port(0, 3)]) == [1, 2]
+
+    def test_port_neighbor_roundtrip(self):
+        g = ring(5)
+        ports = PortMap(g)
+        for node in g.nodes():
+            for neighbor in g.neighbors(node):
+                assert ports.neighbor(node, ports.port(node, neighbor)) == neighbor
+
+    def test_ports_follow_id_order_only(self):
+        """Section 2.3: the port labelling must carry no routing info —
+        it is a pure function of sorted neighbor ids."""
+        g = nx.Graph()
+        g.add_edges_from([(0, 5), (0, 2), (0, 9)])
+        ports = PortMap(g)
+        assert ports.port(0, 2) == 1
+        assert ports.port(0, 5) == 2
+        assert ports.port(0, 9) == 3
+
+    def test_directed_graph_uses_out_neighbors(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 0)
+        ports = PortMap(g)
+        assert ports.degree(0) == 1
+        assert ports.port(0, 1) == 1
+        with pytest.raises(RoutingError):
+            ports.port(0, 2)
+
+    def test_invalid_port(self):
+        ports = PortMap(ring(3))
+        with pytest.raises(RoutingError):
+            ports.neighbor(0, 99)
+
+    def test_first_hop_port(self):
+        g = ring(4)
+        ports = PortMap(g)
+        assert ports.first_hop_port([0, 1, 2]) == ports.port(0, 1)
+        with pytest.raises(RoutingError):
+            ports.first_hop_port([0])
+
+
+class _StaticScheme(RoutingScheme):
+    """A tiny scheme following precomputed next-hop maps (for driver tests)."""
+
+    name = "static"
+
+    def __init__(self, graph, algebra, next_hop):
+        super().__init__(graph, algebra)
+        self.next_hop = next_hop
+
+    def initial_header(self, source, target):
+        return target
+
+    def local_decision(self, node, header):
+        if node == header:
+            return Decision.deliver()
+        return Decision.forward(self.ports.port(node, self.next_hop[node][header]), header)
+
+    def table_bits(self, node):
+        return 8 * len(self.next_hop[node])
+
+    def label_bits(self, node):
+        return 8
+
+
+@pytest.fixture
+def simple_graph():
+    g = ring(4)
+    assign_uniform_weight(g, 1)
+    return g
+
+
+def _hop_map_clockwise(g):
+    n = g.number_of_nodes()
+    return {u: {t: (u + 1) % n for t in g.nodes() if t != u} for u in g.nodes()}
+
+
+class TestRouteDriver:
+    def test_successful_delivery(self, simple_graph):
+        scheme = _StaticScheme(simple_graph, ShortestPath(), _hop_map_clockwise(simple_graph))
+        result = scheme.route(0, 2)
+        assert result.delivered
+        assert result.path == (0, 1, 2)
+        assert result.hops == 2
+
+    def test_self_delivery(self, simple_graph):
+        scheme = _StaticScheme(simple_graph, ShortestPath(), _hop_map_clockwise(simple_graph))
+        result = scheme.route(1, 1)
+        assert result.delivered and result.path == (1,)
+
+    def test_hop_limit_detects_loops(self, simple_graph):
+        class Looper(_StaticScheme):
+            # forwards clockwise forever, never delivers
+            def local_decision(self, node, header):
+                nxt = (node + 1) % self.graph.number_of_nodes()
+                return Decision.forward(self.ports.port(node, nxt), header)
+
+        scheme = Looper(simple_graph, ShortestPath(), {})
+        result = scheme.route(0, 2, max_hops=10)
+        assert not result.delivered
+        assert result.reason == "hop limit exceeded"
+        assert result.hops == 10
+
+    def test_wrong_delivery_detected(self, simple_graph):
+        class Eager(_StaticScheme):
+            def local_decision(self, node, header):
+                return Decision.deliver()
+
+        scheme = Eager(simple_graph, ShortestPath(), {})
+        result = scheme.route(0, 2)
+        assert not result.delivered
+        assert "wrong node" in result.reason
+
+    def test_route_or_raise(self, simple_graph):
+        class Eager(_StaticScheme):
+            def local_decision(self, node, header):
+                return Decision.deliver()
+
+        scheme = Eager(simple_graph, ShortestPath(), {})
+        with pytest.raises(DeliveryError):
+            scheme.route_or_raise(0, 2)
+
+    def test_realized_weight(self, simple_graph):
+        scheme = _StaticScheme(simple_graph, ShortestPath(), _hop_map_clockwise(simple_graph))
+        result = scheme.route(0, 3)
+        assert scheme.realized_weight(result) == 3  # three unit hops clockwise
+
+
+class TestDecision:
+    def test_constructors(self):
+        d = Decision.deliver()
+        assert d.action is Action.DELIVER and d.port is None
+        f = Decision.forward(2, "header")
+        assert f.action is Action.FORWARD and f.port == 2 and f.header == "header"

@@ -1,0 +1,98 @@
+"""Tests for source-destination pair tables (the non-isotone fallback)."""
+
+import random
+
+import pytest
+
+from repro.algebra.catalog import ShortestPath
+from repro.algebra.lexicographic import shortest_widest_path
+from repro.exceptions import RoutingError
+from repro.graphs.generators import erdos_renyi, ring
+from repro.graphs.weighting import assign_random_weights
+from repro.paths.enumerate import preferred_by_enumeration
+from repro.routing.memory import memory_report
+from repro.routing.pair_table import (
+    PairTableScheme,
+    enumeration_oracle,
+    shortest_widest_oracle,
+)
+
+
+class TestShortestWidest:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_routes_on_preferred_sw_paths(self, seed):
+        algebra = shortest_widest_path(max_weight=9, max_capacity=9)
+        rng = random.Random(seed)
+        graph = erdos_renyi(10, p=0.4, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = PairTableScheme(graph, algebra, oracle=shortest_widest_oracle(graph))
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s == t:
+                    continue
+                result = scheme.route(s, t)
+                assert result.delivered, (s, t)
+                realized = algebra.path_weight(graph, list(result.path))
+                truth = preferred_by_enumeration(graph, algebra, s, t).weight
+                assert algebra.eq(realized, truth), (s, t)
+
+    def test_route_follows_installed_path_exactly(self):
+        algebra = shortest_widest_path()
+        rng = random.Random(3)
+        graph = ring(7)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = PairTableScheme(graph, algebra, oracle=shortest_widest_oracle(graph))
+        for s, t in [(0, 3), (2, 6)]:
+            assert scheme.route(s, t).path == scheme.installed_path(s, t)
+
+
+class TestEnumerationOracleFallback:
+    def test_default_oracle_enumerates(self):
+        algebra = shortest_widest_path(max_weight=5, max_capacity=5)
+        rng = random.Random(4)
+        graph = ring(6)
+        assign_random_weights(graph, algebra, rng=rng)
+        scheme = PairTableScheme(graph, algebra)  # default enumeration oracle
+        for s in graph.nodes():
+            for t in graph.nodes():
+                if s != t:
+                    assert scheme.route(s, t).delivered
+
+    def test_oracle_factory(self):
+        algebra = ShortestPath(max_weight=5)
+        graph = ring(5)
+        assign_random_weights(graph, algebra, rng=random.Random(5))
+        oracle = enumeration_oracle(graph, algebra)
+        routes = oracle(0)
+        assert set(routes) == {1, 2, 3, 4}
+
+
+class TestMemoryScalesQuadratically:
+    def test_total_entries_quadratic(self):
+        """The paper's O(n^2 log d) per-router trivial bound: total installed
+        entries grow with the number of pairs, i.e. ~n^2."""
+        algebra = shortest_widest_path(max_weight=5, max_capacity=5)
+        totals = []
+        for n in (8, 16):
+            rng = random.Random(6)
+            graph = erdos_renyi(n, p=0.5, rng=rng)
+            assign_random_weights(graph, algebra, rng=rng)
+            scheme = PairTableScheme(graph, algebra,
+                                     oracle=shortest_widest_oracle(graph))
+            totals.append(memory_report(scheme).total_bits)
+        assert totals[1] > 3.0 * totals[0]
+
+    def test_header_carries_both_endpoints(self):
+        algebra = ShortestPath()
+        graph = ring(4)
+        assign_random_weights(graph, algebra, rng=random.Random(7))
+        scheme = PairTableScheme(graph, algebra)
+        assert scheme.initial_header(1, 3) == (1, 3)
+
+    def test_missing_entry_raises(self):
+        algebra = ShortestPath()
+        graph = ring(4)
+        assign_random_weights(graph, algebra, rng=random.Random(8))
+        scheme = PairTableScheme(graph, algebra)
+        with pytest.raises(RoutingError):
+            scheme.local_decision(0, (99, 98))

@@ -1,0 +1,96 @@
+"""Tests for algebraic stretch (Definition 3)."""
+
+import pytest
+
+from repro.algebra.base import PHI
+from repro.algebra.catalog import ShortestPath, UsablePath, WidestPath
+from repro.algebra.bgp import provider_customer_algebra
+from repro.exceptions import AlgebraError
+from repro.routing.stretch import (
+    measure_stretch,
+    minimal_stretch,
+    satisfies_stretch,
+)
+
+
+class TestDefinition3:
+    def test_multiplicative_for_shortest_path(self):
+        s = ShortestPath()
+        # w(p) = 10 vs w(p*) = 4: 10 <= 3*4, not <= 2*4
+        assert satisfies_stretch(s, 4, 10, 3)
+        assert not satisfies_stretch(s, 4, 10, 2)
+        assert minimal_stretch(s, 4, 10) == 3
+
+    def test_stretch_one_is_optimality(self):
+        s = ShortestPath()
+        assert minimal_stretch(s, 4, 4) == 1
+        assert minimal_stretch(s, 4, 3) == 1  # better than preferred is fine
+
+    def test_selective_algebras_need_exact_paths(self):
+        """For W, w^k = w: any realized weight worse than preferred has NO
+        finite stretch — the Section 4 observation that re-proves Thm 1."""
+        w = WidestPath()
+        assert minimal_stretch(w, 5, 5) == 1
+        assert minimal_stretch(w, 5, 3, max_k=12) is None
+
+    def test_usable_path_everything_stretch_one(self):
+        u = UsablePath()
+        assert minimal_stretch(u, 1, 1) == 1
+
+    def test_unreachable_pairs_unconstrained(self):
+        s = ShortestPath()
+        assert satisfies_stretch(s, PHI, PHI, 1)
+        assert satisfies_stretch(s, PHI, 123, 1)
+
+    def test_phi_realized_weight_fails_all_finite_stretch(self):
+        s = ShortestPath()
+        assert minimal_stretch(s, 4, PHI, max_k=8) is None
+
+    def test_non_delimited_subtlety(self):
+        """Section 4: w ≺ phi but w^k = phi is possible when delimitedness
+        fails — then even the preferred weight fails its own stretch-3
+        bound via an untraversable detour."""
+        b1 = provider_customer_algebra()
+        # c^3 = c, so a realized c path is stretch 1; a phi path is never ok
+        assert minimal_stretch(b1, "c", "c") == 1
+        assert minimal_stretch(b1, "c", PHI, max_k=8) is None
+
+    def test_k_validation(self):
+        with pytest.raises(AlgebraError):
+            satisfies_stretch(ShortestPath(), 1, 1, 0)
+
+
+class TestMeasureStretch:
+    def test_aggregation(self):
+        s = ShortestPath()
+        # stretches 1, 2, 3, and 25 — the last exceeds max_k and counts as
+        # unbounded (and therefore never enters max_stretch).
+        samples = [(4, 4), (4, 8), (4, 12), (4, 100)]
+        report = measure_stretch(s, samples, "test", max_k=16)
+        assert report.pairs == 4
+        assert report.within_1 == 1
+        assert report.within_3 == 3
+        assert report.unbounded == 1
+        assert report.max_stretch == 3
+        assert not report.stretch3_holds
+
+    def test_aggregation_large_max_k_sees_big_stretch(self):
+        s = ShortestPath()
+        report = measure_stretch(s, [(4, 100)], "test", max_k=32)
+        assert report.max_stretch == 25
+        assert report.unbounded == 0
+
+    def test_stretch3_holds_flag(self):
+        s = ShortestPath()
+        report = measure_stretch(s, [(4, 4), (4, 11)], "ok")
+        assert report.stretch3_holds
+
+    def test_unbounded_counted(self):
+        w = WidestPath()
+        report = measure_stretch(w, [(5, 3)], "w", max_k=4)
+        assert report.unbounded == 1
+        assert report.max_stretch is None
+
+    def test_empty_samples(self):
+        report = measure_stretch(ShortestPath(), [], "empty")
+        assert report.pairs == 0 and report.stretch3_holds

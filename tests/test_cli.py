@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import POLICIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_route_defaults(self):
+        args = build_parser().parse_args(["route", "widest-path"])
+        assert args.n == 48
+        assert args.topology == "erdos-renyi"
+        assert not args.compact
+
+
+class TestCommands:
+    def test_policies_lists_catalog(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in POLICIES:
+            assert name in out
+
+    def test_classify(self, capsys):
+        assert main(["classify", "widest-path"]) == 0
+        out = capsys.readouterr().out
+        assert "compressible" in out
+        assert "Theorem 1" in out
+
+    def test_classify_with_measurement(self, capsys):
+        assert main(["classify", "usable-path", "--measure"]) == 0
+        assert "measured properties" in capsys.readouterr().out
+
+    def test_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["classify", "teleportation"])
+
+    def test_route_small(self, capsys):
+        assert main(["route", "widest-path", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+
+    def test_route_compact(self, capsys):
+        assert main(["route", "shortest-path", "--n", "16", "--compact"]) == 0
+        assert "cowen" in capsys.readouterr().out
+
+    def test_route_bgp(self, capsys):
+        assert main(["route", "bgp-provider-customer", "--n", "20"]) == 0
+        assert "b1-provider-tree" in capsys.readouterr().out
+
+    def test_route_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            main(["route", "widest-path", "--topology", "moebius"])
+
+    def test_scale(self, capsys):
+        assert main(["scale", "usable-path", "--sizes", "16,32,64"]) == 0
+        out = capsys.readouterr().out
+        assert "best fit" in out
+
+    def test_scale_needs_three_sizes(self):
+        with pytest.raises(SystemExit):
+            main(["scale", "usable-path", "--sizes", "16,32"])
