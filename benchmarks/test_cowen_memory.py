@@ -10,7 +10,7 @@ scheme's favor as n grows.
 
 import random
 
-from conftest import record
+from conftest import fit_to_dict, record
 from repro.algebra import ShortestPath
 from repro.core import fit_scaling, is_sublinear
 from repro.graphs import assign_random_weights, erdos_renyi
@@ -46,7 +46,13 @@ def test_cowen_memory_sublinear(benchmark):
     ]
     lines.append(f"dest-table: {table_fit.summary()}")
     lines.append(f"cowen:      {cowen_fit.summary()}")
-    record("cowen_memory", lines)
+    record("cowen_memory", lines, data={
+        "sizes": list(SIZES),
+        "dest_table_bits": list(table_bits),
+        "cowen_bits": list(cowen_bits),
+        "dest_table_fit": fit_to_dict(table_fit),
+        "cowen_fit": fit_to_dict(cowen_fit),
+    })
 
     # tables are linear; the compact scheme is clearly sublinear
     assert table_fit.loglog_slope > 0.85

@@ -65,6 +65,16 @@ def test_cowen_stretch3(benchmark, algebra, max_expected, topology):
             f"stretch distribution: optimal {report.stretch.within_1}, "
             f"<=3 {report.stretch.within_3}, beyond {report.stretch.unbounded}",
         ],
+        data={
+            "algebra": algebra.name,
+            "topology": topology,
+            "pairs": report.pairs,
+            "delivered": report.delivered,
+            "max_stretch": report.stretch.max_stretch,
+            "within_1": report.stretch.within_1,
+            "within_3": report.stretch.within_3,
+            "unbounded": report.stretch.unbounded,
+        },
     )
     assert report.all_delivered
     assert report.stretch.stretch3_holds

@@ -66,7 +66,23 @@ def test_three_paradigms(benchmark):
             f"(db {lsdb}b)  DV: {dv.rounds} rounds/{dv.vector_exchanges} vecs  "
             f"PV: {pv.activations} acts/{pv.messages} msgs  agree={agree}"
         )
-    record("protocol_comparison", lines)
+    record("protocol_comparison", lines, data={
+        "sizes": list(SIZES),
+        "rows": [
+            {
+                "n": n,
+                "link_state": {"rounds": ls.rounds,
+                               "lsa_transmissions": ls.lsa_transmissions,
+                               "max_lsdb_bits": lsdb},
+                "distance_vector": {"rounds": dv.rounds,
+                                    "vector_exchanges": dv.vector_exchanges},
+                "path_vector": {"activations": pv.activations,
+                                "messages": pv.messages},
+                "routes_agree": agree,
+            }
+            for n, ls, dv, pv, lsdb, agree in rows
+        ],
+    })
     for n, ls, dv, pv, lsdb, agree in rows:
         assert ls.converged and dv.converged and pv.converged
         assert agree

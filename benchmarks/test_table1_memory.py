@@ -20,7 +20,7 @@ import random
 
 import pytest
 
-from conftest import record
+from conftest import fit_to_dict, record
 from repro.algebra import (
     MostReliablePath,
     ShortestPath,
@@ -55,6 +55,15 @@ def _report(name, rows, fit):
     return lines
 
 
+def _data(name, rows, fit):
+    return {
+        "policy": name,
+        "sizes": [n for n, _ in rows],
+        "max_table_bits": [bits for _, bits in rows],
+        "fit": fit_to_dict(fit),
+    }
+
+
 @pytest.mark.parametrize(
     "algebra,expect_sublinear",
     [
@@ -72,7 +81,8 @@ def test_table1_memory_scaling(benchmark, algebra, expect_sublinear):
     )
     ns, bits = zip(*rows)
     fit = fit_scaling(ns, bits)
-    record(f"table1_{algebra.name}", _report(algebra.name, rows, fit))
+    record(f"table1_{algebra.name}", _report(algebra.name, rows, fit),
+           data=_data(algebra.name, rows, fit))
     if expect_sublinear:
         # Theta(log n): sublinear, in fact near-flat
         assert is_sublinear(ns, bits), fit.summary()
@@ -92,7 +102,8 @@ def test_table1_shortest_widest_pair_tables(benchmark):
     )
     ns, bits = zip(*rows)
     fit = fit_scaling(ns, bits)
-    record("table1_shortest-widest-path", _report(algebra.name, rows, fit))
+    record("table1_shortest-widest-path", _report(algebra.name, rows, fit),
+           data=_data(algebra.name, rows, fit))
     assert is_superlogarithmic(ns, bits)
     # the per-node worst case for pair tables sits between n and n^2
     assert fit.loglog_slope > 1.2, fit.summary()

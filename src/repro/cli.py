@@ -5,7 +5,11 @@ Commands:
 * ``classify <policy>`` — print the algebraic profile and the theorem-
   driven classification of a catalog policy;
 * ``route <policy>`` — generate a topology, build the prescribed scheme,
-  route all pairs and report delivery/stretch/memory;
+  route all pairs and report delivery/stretch/memory (``--trace`` prints
+  the hop-by-hop packet event log, ``--json`` emits the machine-readable
+  report);
+* ``profile <policy>`` — run the full pipeline with telemetry enabled and
+  dump phase timers, metrics and protocol message counts as JSON;
 * ``scale <policy>`` — measure per-node table bits over growing n and fit
   the scaling class (the Table 1 experiment for one policy);
 * ``table1`` — the full six-row Table 1 reproduction;
@@ -15,7 +19,12 @@ Examples::
 
     python -m repro classify widest-path
     python -m repro route shortest-path --n 64 --topology barabasi-albert --compact
+    python -m repro route widest-path --n 32 --trace
+    python -m repro profile widest-path --n 64
     python -m repro scale shortest-widest-path --sizes 16,24,32
+
+Invalid policy or topology names exit with a one-line error and a nonzero
+status — never a traceback.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ import argparse
 import random
 import sys
 
+import repro.obs as obs
 from repro.algebra import (
     MostReliablePath,
     prefer_customer_algebra,
@@ -69,6 +79,18 @@ def _policy(name: str):
     return factory(), is_bgp
 
 
+def _parse_sizes(text: str, minimum: int = 1) -> list:
+    try:
+        sizes = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--sizes must be comma-separated integers, got {text!r}"
+        ) from None
+    if len(sizes) < minimum:
+        raise SystemExit(f"--sizes needs at least {minimum} comma-separated values")
+    return sizes
+
+
 def _topology(algebra, is_bgp, family: str, n: int, seed: int):
     rng = random.Random(seed)
     if is_bgp:
@@ -102,25 +124,121 @@ def cmd_classify(args) -> int:
     return 0
 
 
+def _print_trace(trace) -> None:
+    state = "delivered" if trace.delivered else f"FAILED ({trace.reason})"
+    print(f"trace {trace.source!r} -> {trace.target!r}: "
+          f"{trace.hops} hops, {state}")
+    for event in trace.events:
+        bits = f" header={event.header!r}"
+        if event.header_bits is not None:
+            bits += f" ({event.header_bits}b)"
+        if event.action == "forward":
+            print(f"  [{event.index}] {event.node!r} --port {event.port}--> "
+                  f"{event.next_node!r}{bits}")
+        else:
+            print(f"  [{event.index}] {event.node!r} deliver{bits}")
+
+
 def cmd_route(args) -> int:
     algebra, is_bgp = _policy(args.policy)
     graph = _topology(algebra, is_bgp, args.topology, args.n, args.seed)
     mode = "compact" if args.compact else "auto"
-    scheme = build_scheme(graph, algebra, mode=mode, rng=random.Random(args.seed + 1))
-    report = evaluate_scheme(graph, algebra, scheme)
-    print(f"topology: n={graph.number_of_nodes()} m={graph.number_of_edges()}")
-    print(report.summary())
-    if report.failures:
-        print(f"failures (first {len(report.failures)}): {report.failures}")
-        return 1
+    was_enabled = obs.enabled()
+    if args.trace:
+        obs.enable()
+    try:
+        scheme = build_scheme(graph, algebra, mode=mode,
+                              rng=random.Random(args.seed + 1))
+        report = evaluate_scheme(graph, algebra, scheme,
+                                 trace_limit=args.trace_limit)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    if args.json:
+        payload = {
+            "policy": args.policy,
+            "topology": {
+                "family": args.topology,
+                "n": graph.number_of_nodes(),
+                "m": graph.number_of_edges(),
+            },
+            "report": obs.report_to_dict(report),
+        }
+        print(obs.to_json(payload))
+    else:
+        print(f"topology: n={graph.number_of_nodes()} m={graph.number_of_edges()}")
+        print(report.summary())
+        if args.trace:
+            for trace in report.traces:
+                _print_trace(trace)
+        if report.failures:
+            print(f"failures (first {len(report.failures)}): {report.failures}")
+    return 1 if report.failures else 0
+
+
+def cmd_profile(args) -> int:
+    """End-to-end pipeline under full telemetry; emits one JSON document."""
+    algebra, is_bgp = _policy(args.policy)
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset_all()
+    try:
+        graph = _topology(algebra, is_bgp, args.topology, args.n, args.seed)
+        mode = "compact" if args.compact else "auto"
+        scheme = build_scheme(graph, algebra, mode=mode,
+                              rng=random.Random(args.seed + 1))
+        report = evaluate_scheme(graph, algebra, scheme,
+                                 trace_limit=args.trace_limit)
+
+        # Protocol simulations on a copy (fail_edge and friends mutate), so
+        # the profile also carries message/convergence accounting.
+        # Protocols that do not apply to this instance (digraphs,
+        # non-regular algebras) are skipped and listed as such.
+        protocols = {}
+        from repro.protocols.distance_vector import DistanceVectorSimulation
+        from repro.protocols.link_state import LinkStateSimulation
+        from repro.protocols.path_vector import PathVectorSimulation
+
+        for name, factory in (
+            ("path-vector", lambda: PathVectorSimulation(graph.copy(), algebra)),
+            ("distance-vector",
+             lambda: DistanceVectorSimulation(graph.copy(), algebra)),
+            ("link-state", lambda: LinkStateSimulation(graph.copy(), algebra)),
+        ):
+            try:
+                protocols[name] = factory().run().summary()
+            except ReproError as exc:
+                protocols[name] = f"skipped: {exc}"
+
+        snapshot = obs.telemetry_snapshot()
+    finally:
+        if not was_enabled:
+            obs.disable()
+    payload = {
+        "policy": args.policy,
+        "scheme": scheme.name,
+        "topology": {
+            "family": args.topology,
+            "n": graph.number_of_nodes(),
+            "m": graph.number_of_edges(),
+        },
+        "phases": snapshot["spans"],
+        "metrics": snapshot["metrics"],
+        "protocols": protocols,
+        "report": obs.report_to_dict(report),
+    }
+    text = obs.to_json(payload)
+    if args.output:
+        obs.write_json(args.output, payload)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
     return 0
 
 
 def cmd_scale(args) -> int:
     algebra, is_bgp = _policy(args.policy)
-    sizes = [int(part) for part in args.sizes.split(",")]
-    if len(sizes) < 3:
-        raise SystemExit("--sizes needs at least 3 comma-separated values")
+    sizes = _parse_sizes(args.sizes, minimum=3)
     rows = []
     for n in sizes:
         graph = _topology(algebra, is_bgp, args.topology, n, args.seed + n)
@@ -136,7 +254,7 @@ def cmd_scale(args) -> int:
 def cmd_table1(args) -> int:
     from repro.core.table1 import format_table1, reproduce_table1
 
-    sizes = [int(part) for part in args.sizes.split(",")]
+    sizes = _parse_sizes(args.sizes, minimum=1)
     rows = reproduce_table1(sizes=sizes, seed=args.seed)
     print(format_table1(rows))
     return 0
@@ -165,8 +283,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument("--topology", default="erdos-renyi")
     p_route.add_argument("--compact", action="store_true",
                          help="use the Theorem 3 compact scheme where possible")
+    p_route.add_argument("--trace", action="store_true",
+                         help="print the hop-by-hop packet event log")
+    p_route.add_argument("--trace-limit", type=int, default=8,
+                         help="max packet traces to capture (default 8)")
+    p_route.add_argument("--json", action="store_true",
+                         help="emit the report as JSON instead of text")
     p_route.add_argument("--seed", type=int, default=0)
     p_route.set_defaults(func=cmd_route)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run the pipeline with telemetry on; dump timings/metrics JSON",
+    )
+    p_profile.add_argument("policy")
+    p_profile.add_argument("--n", type=int, default=48)
+    p_profile.add_argument("--topology", default="erdos-renyi")
+    p_profile.add_argument("--compact", action="store_true")
+    p_profile.add_argument("--trace-limit", type=int, default=4)
+    p_profile.add_argument("--output", default=None,
+                           help="write the JSON document here instead of stdout")
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.set_defaults(func=cmd_profile)
 
     p_scale = sub.add_parser("scale", help="fit the memory scaling class")
     p_scale.add_argument("policy")
@@ -187,6 +325,11 @@ def main(argv=None) -> int:
     try:
         return args.func(args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # Malformed numeric arguments and the like: a clean error beats a
+        # traceback for every subcommand.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

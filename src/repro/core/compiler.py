@@ -26,6 +26,7 @@ from repro.algebra.catalog import ShortestPath, WidestPath
 from repro.algebra.lexicographic import LexicographicProduct
 from repro.exceptions import NotApplicableError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.obs.tracing import span
 from repro.routing.bgp_schemes import B1TreeScheme, B2ConeScheme
 from repro.routing.cowen import CowenScheme
 from repro.routing.destination_table import DestinationTableScheme
@@ -71,7 +72,19 @@ def build_scheme(graph, algebra: RoutingAlgebra, mode: str = "auto",
     Raises :class:`NotApplicableError` when no scheme in the catalog can
     implement the algebra on this graph (the honest outcome for, e.g., the
     un-assumed B3 policy, per Theorem 8).
+
+    With telemetry on, the whole compilation runs inside a
+    ``build_scheme`` span; the schemes themselves time their internal
+    phases (preferred-tree construction, landmark selection, table
+    encoding) as nested spans.
     """
+    with span("build_scheme", algebra=algebra.name, mode=mode):
+        return _build_scheme(graph, algebra, mode=mode, attr=attr, rng=rng,
+                             **kwargs)
+
+
+def _build_scheme(graph, algebra: RoutingAlgebra, mode: str, attr: str,
+                  rng: Optional[random.Random], **kwargs) -> RoutingScheme:
     if mode not in MODES:
         raise NotApplicableError(f"unknown mode {mode!r}; pick one of {MODES}")
     declared = algebra.declared_properties()

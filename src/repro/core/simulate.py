@@ -10,8 +10,14 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Tuple
+
+from repro.obs import tracing as _obs_tracing
+from repro.obs.metrics import enabled as _telemetry_enabled
+from repro.obs.metrics import metrics as _telemetry
 
 from repro.algebra.base import PHI, RoutingAlgebra, is_phi
 from repro.algebra.bgp import BGPAlgebra
@@ -86,6 +92,8 @@ class EvaluationReport:
     stretch: StretchReport
     memory: MemoryReport
     failures: Tuple
+    #: Hop-level packet traces, populated only when telemetry is enabled.
+    traces: Tuple = field(default=(), compare=False)
 
     @property
     def all_delivered(self) -> bool:
@@ -118,40 +126,75 @@ def sample_pairs(graph, count: Optional[int] = None, rng: Optional[random.Random
 def evaluate_scheme(graph, algebra: RoutingAlgebra, scheme: RoutingScheme,
                     pairs: Optional[Iterable[Tuple]] = None,
                     oracle: Optional[WeightOracle] = None,
-                    max_k: int = 16) -> EvaluationReport:
+                    max_k: int = 16,
+                    trace_limit: int = 16) -> EvaluationReport:
     """Route every pair, verify against the preferred-weight oracle, report.
 
     Unreachable pairs (preferred weight ``PHI``) are skipped — the model
     only promises routes where a traversable path exists.
+
+    With telemetry enabled (:func:`repro.obs.enable`), the evaluation
+    additionally records a per-pair routing-latency histogram and a hop-
+    count histogram, and captures up to *trace_limit* hop-level packet
+    traces, surfaced on ``EvaluationReport.traces``.  With telemetry off
+    (the default) none of this runs and the report is unchanged.
     """
     if pairs is None:
         pairs = sample_pairs(graph)
     if oracle is None:
-        oracle = preferred_weight_oracle(graph, algebra, attr=scheme.attr)
+        with _obs_tracing.span("oracle", scheme=scheme.name):
+            oracle = preferred_weight_oracle(graph, algebra, attr=scheme.attr)
 
+    telemetry = _telemetry_enabled()
+    registry = _telemetry()
     routed = 0
     delivered = 0
     optimal = 0
     failures = []
     samples = []
-    for s, t in pairs:
-        preferred = oracle(s, t)
-        if is_phi(preferred):
-            continue
-        routed += 1
-        try:
-            result = scheme.route(s, t)
-        except ReproError as exc:
-            failures.append((s, t, str(exc)))
-            continue
-        if not result.delivered:
-            failures.append((s, t, result.reason))
-            continue
-        delivered += 1
-        realized = scheme.realized_weight(result)
-        samples.append((preferred, realized))
-        if algebra.eq(realized, preferred):
-            optimal += 1
+    traces = ()
+    # Capture traces only if no caller-provided capture is already active,
+    # so an explicit ``with obs.capture_traces():`` around the evaluation
+    # keeps collecting into the caller's buffer.
+    own_capture = telemetry and _obs_tracing.active_capture() is None
+    with _obs_tracing.span("route_pairs", scheme=scheme.name), \
+            (_obs_tracing.capture_traces(limit=trace_limit) if own_capture else
+             nullcontext()) as capture:
+        for s, t in pairs:
+            preferred = oracle(s, t)
+            if is_phi(preferred):
+                continue
+            routed += 1
+            try:
+                if telemetry:
+                    start = time.perf_counter()
+                    result = scheme.route(s, t)
+                    registry.histogram(
+                        "evaluate.pair_seconds", scheme=scheme.name
+                    ).observe(time.perf_counter() - start)
+                else:
+                    result = scheme.route(s, t)
+            except ReproError as exc:
+                failures.append((s, t, str(exc)))
+                continue
+            if telemetry:
+                registry.histogram(
+                    "evaluate.hops", scheme=scheme.name
+                ).observe(result.hops)
+            if not result.delivered:
+                failures.append((s, t, result.reason))
+                continue
+            delivered += 1
+            realized = scheme.realized_weight(result)
+            samples.append((preferred, realized))
+            if algebra.eq(realized, preferred):
+                optimal += 1
+        if capture is not None:
+            traces = tuple(capture.traces)
+    if telemetry:
+        registry.counter("evaluate.pairs", scheme=scheme.name).inc(routed)
+        registry.counter("evaluate.delivered", scheme=scheme.name).inc(delivered)
+        registry.counter("evaluate.optimal", scheme=scheme.name).inc(optimal)
     stretch = measure_stretch(algebra, samples, scheme_name=scheme.name, max_k=max_k)
     return EvaluationReport(
         scheme_name=scheme.name,
@@ -161,4 +204,5 @@ def evaluate_scheme(graph, algebra: RoutingAlgebra, scheme: RoutingScheme,
         stretch=stretch,
         memory=memory_report(scheme),
         failures=tuple(failures[:16]),
+        traces=traces,
     )

@@ -21,12 +21,15 @@ def assign_random_weights(graph, algebra: RoutingAlgebra, rng=None, attr: str = 
 
     Returns *graph* for chaining.
     """
+    from repro.obs.tracing import span
+
     if rng is None:
         rng = random.Random(0)
-    edges = list(graph.edges())
-    weights = algebra.sample_weights(rng, len(edges))
-    for (u, v), w in zip(edges, weights):
-        graph[u][v][attr] = w
+    with span("weighting", algebra=algebra.name):
+        edges = list(graph.edges())
+        weights = algebra.sample_weights(rng, len(edges))
+        for (u, v), w in zip(edges, weights):
+            graph[u][v][attr] = w
     return graph
 
 

@@ -1,0 +1,98 @@
+"""Observability layer: metrics, phase timers, packet traces, exporters.
+
+The subsystem is dark by default — a module-level no-op registry absorbs
+all instrumentation until :func:`enable` is called (or the process starts
+with ``REPRO_TELEMETRY=1``), so the simulation and accounting code paths
+it watches stay bit-identical and effectively free when unobserved.
+
+Typical use::
+
+    import repro.obs as obs
+
+    obs.enable()
+    with obs.capture_traces(limit=4) as capture:
+        report = evaluate_scheme(graph, algebra, scheme)
+    obs.export.write_json("telemetry.json", obs.telemetry_snapshot())
+
+See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
+"""
+
+from repro.obs import export
+from repro.obs.export import (
+    report_to_dict,
+    span_to_dict,
+    telemetry_snapshot,
+    to_json,
+    trace_to_dict,
+    write_benchmark_summary,
+    write_json,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    ENV_VAR,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    enabled,
+    env_enabled,
+    metrics,
+    registry,
+    reset,
+)
+from repro.obs.tracing import (
+    HopEvent,
+    PacketTrace,
+    SpanRecord,
+    TraceCapture,
+    active_capture,
+    capture_traces,
+    clear_spans,
+    span,
+    spans,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "disable",
+    "enable",
+    "enabled",
+    "env_enabled",
+    "metrics",
+    "registry",
+    "reset",
+    "HopEvent",
+    "PacketTrace",
+    "SpanRecord",
+    "TraceCapture",
+    "active_capture",
+    "capture_traces",
+    "clear_spans",
+    "span",
+    "spans",
+    "export",
+    "report_to_dict",
+    "span_to_dict",
+    "telemetry_snapshot",
+    "to_json",
+    "trace_to_dict",
+    "write_benchmark_summary",
+    "write_json",
+    "write_jsonl",
+]
+
+
+def reset_all() -> None:
+    """Drop metrics, spans (the enabled flag is left untouched)."""
+    reset()
+    clear_spans()

@@ -1,0 +1,156 @@
+"""Machine-readable export of telemetry: JSON / JSONL writers.
+
+Everything the registry, span log and trace captures hold is plain data;
+this module flattens it into JSON-ready dicts and writes it out.  Node
+identifiers and headers may be arbitrary hashable objects (tuples, enum
+weights, ...), so serialization falls back to ``str`` rather than
+restricting what schemes may use as labels.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+
+
+def _jsonable(obj):
+    """JSON fallback: stringify anything json doesn't natively handle."""
+    return str(obj)
+
+
+def to_json(payload, indent: int = 2) -> str:
+    return json.dumps(payload, indent=indent, sort_keys=False, default=_jsonable)
+
+
+def write_json(path: str, payload) -> str:
+    """Write *payload* as pretty-printed JSON; returns *path*."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(to_json(payload) + "\n")
+    return path
+
+
+def write_jsonl(path: str, records: Iterable[Dict]) -> str:
+    """Write one compact JSON object per line; returns *path*."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=_jsonable) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# dict views of the telemetry objects
+# ---------------------------------------------------------------------------
+
+
+def span_to_dict(record: _tracing.SpanRecord) -> Dict:
+    out = {
+        "name": record.name,
+        "path": record.path,
+        "parent": record.parent,
+        "duration_s": record.duration_s,
+    }
+    if record.tags:
+        out["tags"] = dict(record.tags)
+    return out
+
+
+def hop_event_to_dict(event: _tracing.HopEvent) -> Dict:
+    return {
+        "index": event.index,
+        "node": event.node,
+        "action": event.action,
+        "port": event.port,
+        "next_node": event.next_node,
+        "header": event.header,
+        "header_bits": event.header_bits,
+    }
+
+
+def trace_to_dict(trace: _tracing.PacketTrace) -> Dict:
+    return {
+        "scheme": trace.scheme,
+        "source": trace.source,
+        "target": trace.target,
+        "delivered": trace.delivered,
+        "reason": trace.reason,
+        "hops": trace.hops,
+        "events": [hop_event_to_dict(event) for event in trace.events],
+    }
+
+
+def report_to_dict(report) -> Dict:
+    """Flatten an :class:`repro.core.simulate.EvaluationReport` (duck-typed)."""
+    stretch = report.stretch
+    memory = report.memory
+    out = {
+        "scheme": report.scheme_name,
+        "pairs": report.pairs,
+        "delivered": report.delivered,
+        "optimal": report.optimal,
+        "stretch": {
+            "pairs": stretch.pairs,
+            "within_1": stretch.within_1,
+            "within_3": stretch.within_3,
+            "unbounded": stretch.unbounded,
+            "max_stretch": stretch.max_stretch,
+        },
+        "memory": {
+            "n": memory.n,
+            "max_bits": memory.max_bits,
+            "avg_bits": memory.avg_bits,
+            "total_bits": memory.total_bits,
+            "max_label_bits": memory.max_label_bits,
+        },
+        "failures": [list(failure) for failure in report.failures],
+    }
+    traces = getattr(report, "traces", ())
+    if traces:
+        out["traces"] = [trace_to_dict(trace) for trace in traces]
+    return out
+
+
+def telemetry_snapshot(include_spans: bool = True) -> Dict:
+    """Everything recorded so far: metrics plus (optionally) the span log."""
+    snapshot = {"metrics": _metrics.registry().snapshot()}
+    if include_spans:
+        snapshot["spans"] = [span_to_dict(record) for record in _tracing.spans()]
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# benchmark summary
+# ---------------------------------------------------------------------------
+
+
+def write_benchmark_summary(results_dir: str, experiments: Dict[str, Dict],
+                            extra: Optional[Dict] = None) -> str:
+    """Consolidate per-experiment data into ``<results_dir>/summary.json``.
+
+    *experiments* maps experiment name -> structured payload (fitted
+    slopes, memory numbers, message counts, ...).  The summary is the one
+    file downstream tooling needs to read to track the whole benchmark
+    suite over time.
+    """
+    payload = {
+        "experiment_count": len(experiments),
+        "experiments": {name: experiments[name] for name in sorted(experiments)},
+    }
+    if extra:
+        payload.update(extra)
+    return write_json(os.path.join(results_dir, "summary.json"), payload)
+
+
+def experiment_files(results_dir: str) -> List[str]:
+    """The per-experiment JSON files currently present under *results_dir*."""
+    if not os.path.isdir(results_dir):
+        return []
+    return sorted(
+        name for name in os.listdir(results_dir)
+        if name.endswith(".json") and name != "summary.json"
+    )

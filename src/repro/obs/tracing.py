@@ -1,0 +1,176 @@
+"""Phase timers (spans) and hop-level packet traces.
+
+Two complementary views of where work goes:
+
+* **Spans** time named phases (``build_scheme.preferred_trees``,
+  ``evaluate.route_pairs``, ...).  :func:`span` is a context manager that
+  records a :class:`SpanRecord` with its dotted path, so nesting is
+  preserved; each completed span also feeds a ``span.<path>`` histogram in
+  the metrics registry.  When telemetry is disabled the context manager
+  yields immediately and records nothing.
+
+* **Packet traces** capture the hop-by-hop forwarding simulation of
+  :meth:`repro.routing.model.RoutingScheme.route`: one :class:`HopEvent`
+  per local routing-function evaluation, carrying the node, the decision
+  (forward port or deliver), the header as seen at that node, and the
+  header's encoded bit size when the scheme accounts it.  Capture is
+  explicitly scoped with :func:`capture_traces` so ordinary runs never pay
+  for event buffering::
+
+      with obs.capture_traces(limit=8) as capture:
+          scheme.route(s, t)
+      for trace in capture.traces:
+          ...
+
+The module is deliberately not thread-aware beyond the metric registry's
+lock: the reproduction's simulations are single-threaded, and keeping the
+fast path to one module-attribute read matters more here.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+
+# ---------------------------------------------------------------------------
+# spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed timed phase."""
+
+    name: str
+    path: str                  # dotted ancestry, e.g. "build_scheme.landmarks"
+    parent: Optional[str]      # parent path, None for a root span
+    duration_s: float
+    tags: Tuple[Tuple[str, str], ...] = ()
+
+
+_span_stack: List[str] = []
+_spans: List[SpanRecord] = []
+
+
+@contextmanager
+def span(name: str, **tags: str):
+    """Time a phase; a no-op yielding ``None`` while telemetry is disabled."""
+    if not _metrics.enabled():
+        yield None
+        return
+    parent = _span_stack[-1] if _span_stack else None
+    path = f"{parent}.{name}" if parent else name
+    _span_stack.append(path)
+    start = time.perf_counter()
+    try:
+        yield path
+    finally:
+        duration = time.perf_counter() - start
+        _span_stack.pop()
+        record = SpanRecord(
+            name=name, path=path, parent=parent, duration_s=duration,
+            tags=tuple(sorted(tags.items())),
+        )
+        _spans.append(record)
+        _metrics.metrics().histogram("span.seconds", span=path).observe(duration)
+
+
+def spans() -> List[SpanRecord]:
+    """All spans recorded since the last :func:`clear_spans` (outermost last)."""
+    return list(_spans)
+
+
+def clear_spans() -> None:
+    _spans.clear()
+
+
+# ---------------------------------------------------------------------------
+# packet traces
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HopEvent:
+    """One local routing-function evaluation during a traced route."""
+
+    index: int                  # 0-based hop index along the route
+    node: object                # where the packet currently sits
+    action: str                 # "forward" or "deliver"
+    port: Optional[int]         # local out-port (None on deliver)
+    next_node: object           # far end of the port (None on deliver)
+    header: object              # header as seen at this node
+    header_bits: Optional[int]  # encoded header size, when accounted
+
+
+@dataclass
+class PacketTrace:
+    """The full event log of one hop-by-hop forwarding simulation."""
+
+    scheme: str
+    source: object
+    target: object
+    events: List[HopEvent] = field(default_factory=list)
+    delivered: Optional[bool] = None
+    reason: str = ""
+
+    @property
+    def path(self) -> Tuple:
+        """The node sequence the packet visited (matches ``RouteResult.path``)."""
+        return tuple(event.node for event in self.events)
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.events) - 1)
+
+    def add(self, node, action: str, port: Optional[int], next_node,
+            header, header_bits: Optional[int]) -> None:
+        self.events.append(HopEvent(
+            index=len(self.events), node=node, action=action, port=port,
+            next_node=next_node, header=header, header_bits=header_bits,
+        ))
+
+    def finish(self, delivered: bool, reason: str = "") -> None:
+        self.delivered = delivered
+        self.reason = reason
+
+
+class TraceCapture:
+    """Collects :class:`PacketTrace` objects up to an optional limit."""
+
+    def __init__(self, limit: Optional[int] = None):
+        self.limit = limit
+        self.traces: List[PacketTrace] = []
+        self.dropped = 0
+
+    def begin(self, scheme_name: str, source, target) -> Optional[PacketTrace]:
+        """A fresh trace to record into, or None once the limit is reached."""
+        if self.limit is not None and len(self.traces) >= self.limit:
+            self.dropped += 1
+            return None
+        trace = PacketTrace(scheme=scheme_name, source=source, target=target)
+        self.traces.append(trace)
+        return trace
+
+
+_capture: Optional[TraceCapture] = None
+
+
+def active_capture() -> Optional[TraceCapture]:
+    """The capture the route driver should record into (None = don't trace)."""
+    return _capture
+
+
+@contextmanager
+def capture_traces(limit: Optional[int] = None):
+    """Scope within which every ``RoutingScheme.route`` call is traced."""
+    global _capture
+    previous = _capture
+    _capture = TraceCapture(limit=limit)
+    try:
+        yield _capture
+    finally:
+        _capture = previous

@@ -29,6 +29,8 @@ from typing import Dict, Optional, Tuple
 from repro.algebra.base import PHI, RoutingAlgebra, Weight, is_phi
 from repro.exceptions import RoutingError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.obs.metrics import enabled as _telemetry_enabled
+from repro.obs.metrics import metrics as _telemetry
 
 
 @dataclass(frozen=True)
@@ -90,10 +92,19 @@ class DistanceVectorSimulation:
             if not is_phi(weight):
                 yield weight, neighbor
 
+    def _record_telemetry(self, report: DVReport) -> None:
+        registry = _telemetry()
+        tags = {"protocol": "distance-vector"}
+        registry.counter("protocol.messages", **tags).inc(report.vector_exchanges)
+        registry.gauge("protocol.converged", **tags).set(int(report.converged))
+        registry.gauge("protocol.convergence_round", **tags).set(report.rounds)
+
     def run(self) -> DVReport:
         """Iterate synchronous rounds until the vectors stop changing."""
+        telemetry = _telemetry_enabled()
         exchanges = 0
         for round_index in range(1, self.max_rounds + 1):
+            round_start = exchanges
             previous = {
                 node: dict(entries) for node, entries in self._rib.items()
             }
@@ -121,10 +132,18 @@ class DistanceVectorSimulation:
                             or old.next_hop != best.next_hop:
                         changed = True
                     self._rib[node][dest] = best
+            if telemetry:
+                _telemetry().histogram(
+                    "protocol.messages_per_round", protocol="distance-vector"
+                ).observe(exchanges - round_start)
             if not changed:
                 self._report = DVReport(True, round_index, exchanges)
+                if telemetry:
+                    self._record_telemetry(self._report)
                 return self._report
         self._report = DVReport(False, self.max_rounds, exchanges)
+        if telemetry:
+            self._record_telemetry(self._report)
         return self._report
 
     # -- inspection ------------------------------------------------------

@@ -28,6 +28,8 @@ from typing import Dict, Optional, Tuple
 from repro.algebra.base import PHI, RoutingAlgebra, Weight
 from repro.exceptions import RoutingError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.obs.metrics import enabled as _telemetry_enabled
+from repro.obs.metrics import metrics as _telemetry
 from repro.routing.memory import bits_for_count, label_bits_for_nodes
 
 
@@ -83,13 +85,22 @@ class LinkStateSimulation:
             for neighbor in self.graph.neighbors(node)
         }
 
+    def _record_telemetry(self, report: LSReport) -> None:
+        registry = _telemetry()
+        tags = {"protocol": "link-state"}
+        registry.counter("protocol.messages", **tags).inc(report.lsa_transmissions)
+        registry.gauge("protocol.converged", **tags).set(int(report.converged))
+        registry.gauge("protocol.convergence_round", **tags).set(report.rounds)
+
     def run(self) -> LSReport:
         """Flood until every database is complete (or the budget runs out)."""
+        telemetry = _telemetry_enabled()
         self._lsdb = {node: self._local_lsas(node) for node in self.graph.nodes()}
         fresh: Dict[object, set] = {node: set(self._lsdb[node]) for node in self.graph.nodes()}
         transmissions = 0
         total_lsas = 2 * self.graph.number_of_edges()  # one LSA per edge endpoint
         for round_index in range(1, self.max_rounds + 1):
+            round_start = transmissions
             incoming: Dict[object, set] = {node: set() for node in self.graph.nodes()}
             for node in self.graph.nodes():
                 if not fresh[node]:
@@ -102,14 +113,21 @@ class LinkStateSimulation:
                 new = incoming[node] - self._lsdb[node]
                 self._lsdb[node] |= new
                 fresh[node] = new
+            if telemetry:
+                _telemetry().histogram(
+                    "protocol.messages_per_round", protocol="link-state"
+                ).observe(transmissions - round_start)
             if all(len(db) == total_lsas for db in self._lsdb.values()):
                 self._report = LSReport(True, round_index, transmissions)
-                return self._report
+                break
             if not any(fresh.values()):
                 # flooding quiesced without full coverage (disconnected)
                 self._report = LSReport(False, round_index, transmissions)
-                return self._report
-        self._report = LSReport(False, self.max_rounds, transmissions)
+                break
+        else:
+            self._report = LSReport(False, self.max_rounds, transmissions)
+        if telemetry:
+            self._record_telemetry(self._report)
         return self._report
 
     def _tree(self, source):

@@ -43,6 +43,8 @@ from typing import Dict, Optional, Tuple
 from repro.algebra.base import PHI, RoutingAlgebra, Weight, is_phi
 from repro.exceptions import RoutingError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.obs.metrics import enabled as _telemetry_enabled
+from repro.obs.metrics import metrics as _telemetry
 
 #: Marker for the origin's self-advertisement (semigroups lack an identity
 #: element, so the destination's own "route" carries no weight).
@@ -104,6 +106,7 @@ class PathVectorSimulation:
         self._queue = deque()
         self._queued = set()
         self._messages = 0
+        self._messages_at_failure: Optional[int] = None
         self._seed_origins()
 
     # -- topology helpers ------------------------------------------------
@@ -173,13 +176,35 @@ class PathVectorSimulation:
             return a is b
         return a.path == b.path and self.algebra.eq(a.weight, b.weight)
 
+    def _record_telemetry(self, report: ConvergenceReport) -> None:
+        registry = _telemetry()
+        tags = {"protocol": "path-vector"}
+        registry.counter("protocol.messages", **tags).inc(report.messages)
+        registry.counter("protocol.activations", **tags).inc(report.activations)
+        registry.counter("protocol.route_changes", **tags).inc(report.changed_routes)
+        registry.gauge("protocol.converged", **tags).set(int(report.converged))
+        registry.gauge("protocol.convergence_round", **tags).set(report.activations)
+        if self._messages_at_failure is not None:
+            # Churn: messages it took to re-stabilize after fail_edge().
+            registry.counter("protocol.churn_messages", **tags).inc(
+                self._messages - self._messages_at_failure
+            )
+
+    def _finish(self, report: ConvergenceReport) -> ConvergenceReport:
+        if _telemetry_enabled():
+            self._record_telemetry(report)
+        self._messages_at_failure = None
+        return report
+
     def run(self) -> ConvergenceReport:
         """Process activations until quiescence (or the budget runs out)."""
         activations = 0
         changed = 0
         while self._queue:
             if activations >= self.max_activations:
-                return ConvergenceReport(False, activations, self._messages, changed)
+                return self._finish(
+                    ConvergenceReport(False, activations, self._messages, changed)
+                )
             if self.rng is not None and len(self._queue) > 1 and self.rng.random() < 0.25:
                 self._queue.rotate(self.rng.randrange(len(self._queue)))
             node, dest = self._queue.popleft()
@@ -200,7 +225,9 @@ class PathVectorSimulation:
                 self._adj_rib_in[v][(node, dest)] = new
                 self._messages += 1
                 self._enqueue(v, dest)
-        return ConvergenceReport(True, activations, self._messages, changed)
+        return self._finish(
+            ConvergenceReport(True, activations, self._messages, changed)
+        )
 
     # -- inspection and fault injection -----------------------------------
 
@@ -227,6 +254,11 @@ class PathVectorSimulation:
         """Remove the edge/arc pair (u, v) and schedule reconvergence."""
         if not self.graph.has_edge(u, v):
             raise RoutingError(f"no edge ({u!r}, {v!r}) to fail")
+        if _telemetry_enabled():
+            _telemetry().counter(
+                "protocol.link_failures", protocol="path-vector"
+            ).inc()
+        self._messages_at_failure = self._messages
         self.graph.remove_edge(u, v)
         if self._directed and self.graph.has_edge(v, u):
             self.graph.remove_edge(v, u)

@@ -28,6 +28,8 @@ import networkx as nx
 
 from repro.exceptions import GraphError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.obs.metrics import enabled as _telemetry_enabled
+from repro.obs.metrics import metrics as _telemetry
 
 
 @dataclass(frozen=True)
@@ -92,9 +94,18 @@ class SpanningTreeProtocol:
             return 1
         return int(self.graph[u][v][self.cost_attr])
 
+    def _record_telemetry(self, report: STPReport) -> None:
+        registry = _telemetry()
+        tags = {"protocol": "spanning-tree"}
+        registry.counter("protocol.messages", **tags).inc(report.bpdus_sent)
+        registry.gauge("protocol.converged", **tags).set(int(report.converged))
+        registry.gauge("protocol.convergence_round", **tags).set(report.rounds)
+
     def run(self) -> STPReport:
+        telemetry = _telemetry_enabled()
         sent = 0
         for round_index in range(1, self.max_rounds + 1):
+            round_start = sent
             snapshot = dict(self._best)
             changed = False
             for node in self.graph.nodes():
@@ -115,11 +126,19 @@ class SpanningTreeProtocol:
                     changed = True
                     self._best[node] = best
                     self._root_port[node] = best_port
+            if telemetry:
+                _telemetry().histogram(
+                    "protocol.messages_per_round", protocol="spanning-tree"
+                ).observe(sent - round_start)
             if not changed:
                 root = min(bpdu.root for bpdu in self._best.values())
                 self._report = STPReport(True, round_index, sent, root)
+                if telemetry:
+                    self._record_telemetry(self._report)
                 return self._report
         self._report = STPReport(False, self.max_rounds, sent, None)
+        if telemetry:
+            self._record_telemetry(self._report)
         return self._report
 
     @property

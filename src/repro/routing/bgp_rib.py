@@ -75,3 +75,7 @@ class RIBScheme(RoutingScheme):
 
     def label_bits(self, node) -> int:
         return label_bits_for_nodes(self.graph.number_of_nodes())
+
+    def header_bits(self, header) -> int:
+        """The header is a bare destination identifier."""
+        return label_bits_for_nodes(self.graph.number_of_nodes())

@@ -94,6 +94,9 @@ class B1TreeScheme(RoutingScheme):
     def label_bits(self, node) -> int:
         return self._inner.label_bits(node)
 
+    def header_bits(self, header) -> int:
+        return self._inner.header_bits(header)
+
 
 class B2ConeScheme(RoutingScheme):
     """Theorem 7: per-cone provider trees plus the root peer mesh.
@@ -216,3 +219,8 @@ class B2ConeScheme(RoutingScheme):
         root = self.root_of[node]
         return label_bits_for_nodes(self.graph.number_of_nodes()) + \
             self._trees[root].label_bits(node)
+
+    def header_bits(self, header) -> int:
+        target_root, tree_label = header
+        return label_bits_for_nodes(self.graph.number_of_nodes()) + \
+            self._trees[target_root].header_bits(tree_label)

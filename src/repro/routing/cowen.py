@@ -50,6 +50,7 @@ import networkx as nx
 from repro.algebra.base import PHI, RoutingAlgebra
 from repro.exceptions import NotApplicableError, RoutingError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.obs.tracing import span
 from repro.paths.dijkstra import preferred_path_tree
 from repro.routing.memory import label_bits_for_nodes, port_bits, table_bits
 from repro.routing.model import Action, Decision, RoutingScheme
@@ -85,10 +86,11 @@ class CowenScheme(RoutingScheme):
         self.rng = rng or random.Random(0)
         self.strategy = strategy
 
-        self._trees = {
-            node: preferred_path_tree(graph, algebra, node, attr=attr)
-            for node in graph.nodes()
-        }
+        with span("preferred_trees", scheme=self.name):
+            self._trees = {
+                node: preferred_path_tree(graph, algebra, node, attr=attr)
+                for node in graph.nodes()
+            }
         n = graph.number_of_nodes()
         for node, tree in self._trees.items():
             if len(tree.reachable()) != n - 1:
@@ -97,21 +99,24 @@ class CowenScheme(RoutingScheme):
                     f"construction needs a connected traversable graph"
                 )
 
-        if landmarks is not None:
-            self.landmarks = set(landmarks)
-        else:
-            self.landmarks = self._select_landmarks(cluster_threshold)
+        with span("landmark_selection", scheme=self.name, strategy=strategy):
+            if landmarks is not None:
+                self.landmarks = set(landmarks)
+            else:
+                self.landmarks = self._select_landmarks(cluster_threshold)
         if not self.landmarks:
             raise NotApplicableError("the landmark set must be non-empty")
 
-        self._assign_clusters(self.landmarks)
-        self._tree_schemes: Dict[object, TreeRoutingScheme] = {
-            l: TreeRoutingScheme(
-                self.graph, self.algebra, attr=self.attr,
-                tree=self._landmark_tree(l), check_properties=False,
-            )
-            for l in self.landmarks
-        }
+        with span("cluster_assignment", scheme=self.name):
+            self._assign_clusters(self.landmarks)
+        with span("table_encoding", scheme=self.name):
+            self._tree_schemes: Dict[object, TreeRoutingScheme] = {
+                l: TreeRoutingScheme(
+                    self.graph, self.algebra, attr=self.attr,
+                    tree=self._landmark_tree(l), check_properties=False,
+                )
+                for l in self.landmarks
+            }
 
     # ------------------------------------------------------------------
     # construction
@@ -230,6 +235,13 @@ class CowenScheme(RoutingScheme):
         n = self.graph.number_of_nodes()
         l = self.landmark_of[node]
         return 2 * label_bits_for_nodes(n) + self._tree_schemes[l].label_bits(node)
+
+    def header_bits(self, header) -> int:
+        """Headers are target labels: target id + landmark id + tree label."""
+        _, landmark, tree_label = header
+        n = self.graph.number_of_nodes()
+        return 2 * label_bits_for_nodes(n) + \
+            self._tree_schemes[landmark].header_bits(tree_label)
 
     # ------------------------------------------------------------------
     # analysis helpers

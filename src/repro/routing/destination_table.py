@@ -21,6 +21,7 @@ from typing import Dict
 from repro.algebra.base import RoutingAlgebra
 from repro.exceptions import NotApplicableError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.obs.tracing import span
 from repro.paths.dijkstra import preferred_path_tree
 from repro.routing.memory import label_bits_for_nodes, port_bits, table_bits
 from repro.routing.model import Decision, RoutingScheme
@@ -51,13 +52,14 @@ class DestinationTableScheme(RoutingScheme):
             node: {} for node in graph.nodes()
         }
         self._weight_to: Dict[object, Dict[object, object]] = {}
-        for target in graph.nodes():
-            tree = preferred_path_tree(graph, algebra, target, attr=attr, unsafe=unsafe)
-            self._weight_to[target] = tree.weight
-            for node in tree.reachable():
-                # parent pointers walk toward the root (= destination), so
-                # the parent of u in the tree rooted at t IS u's next hop.
-                self._next_hop[node][target] = tree.parent[node]
+        with span("preferred_trees", scheme=self.name):
+            for target in graph.nodes():
+                tree = preferred_path_tree(graph, algebra, target, attr=attr, unsafe=unsafe)
+                self._weight_to[target] = tree.weight
+                for node in tree.reachable():
+                    # parent pointers walk toward the root (= destination), so
+                    # the parent of u in the tree rooted at t IS u's next hop.
+                    self._next_hop[node][target] = tree.parent[node]
 
     def initial_header(self, source, target):
         return target
@@ -88,4 +90,8 @@ class DestinationTableScheme(RoutingScheme):
         return table_bits(entries, key, value)
 
     def label_bits(self, node) -> int:
+        return label_bits_for_nodes(self.graph.number_of_nodes())
+
+    def header_bits(self, header) -> int:
+        """The header is a bare destination identifier."""
         return label_bits_for_nodes(self.graph.number_of_nodes())

@@ -22,6 +22,9 @@ from typing import Dict, Optional, Tuple
 
 from repro.exceptions import DeliveryError, RoutingError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.obs import tracing as _obs_tracing
+from repro.obs.metrics import enabled as _telemetry_enabled
+from repro.obs.metrics import metrics as _telemetry
 
 
 class Action(enum.Enum):
@@ -143,6 +146,17 @@ class RoutingScheme(abc.ABC):
     def label_bits(self, node) -> int:
         """Bits encoding the label (address) of *node*."""
 
+    # -- optional telemetry hooks ------------------------------------
+
+    def header_bits(self, header) -> Optional[int]:
+        """Bits of an in-flight packet header, when the scheme accounts them.
+
+        Returns ``None`` for schemes without a bit-level header encoding;
+        concrete schemes override this so traced routes can report the
+        per-hop header size consistently with :mod:`repro.routing.memory`.
+        """
+        return None
+
     # -- shared driver ------------------------------------------------
 
     def route(self, source, target, max_hops: Optional[int] = None) -> RouteResult:
@@ -150,27 +164,60 @@ class RoutingScheme(abc.ABC):
 
         *max_hops* defaults to ``4n``, generous enough for any stretch-3
         scheme while still catching forwarding loops.
+
+        When a trace capture is active (:func:`repro.obs.capture_traces`)
+        one :class:`repro.obs.HopEvent` is emitted per local routing-
+        function evaluation; with telemetry enabled, packet/hop metrics are
+        recorded.  Both paths are skipped entirely by default.
         """
         if max_hops is None:
             max_hops = 4 * self.graph.number_of_nodes() + 8
+        capture = _obs_tracing.active_capture()
+        trace = capture.begin(self.name, source, target) if capture is not None else None
         if source == target:
+            if trace is not None:
+                trace.add(source, Action.DELIVER.value, None, None, None, None)
+                trace.finish(True)
             return RouteResult(source, target, (source,), True)
         header = self.initial_header(source, target)
         current = source
         path = [source]
+        result = None
         for _ in range(max_hops):
             decision = self.local_decision(current, header)
+            if trace is not None:
+                if decision.action is Action.DELIVER:
+                    trace.add(current, Action.DELIVER.value, None, None,
+                              header, self.header_bits(header))
+                else:
+                    trace.add(current, Action.FORWARD.value, decision.port,
+                              self.ports.neighbor(current, decision.port),
+                              header, self.header_bits(header))
             if decision.action is Action.DELIVER:
                 if current != target:
-                    return RouteResult(
+                    result = RouteResult(
                         source, target, tuple(path), False,
                         reason=f"delivered at wrong node {current!r}",
                     )
-                return RouteResult(source, target, tuple(path), True)
+                else:
+                    result = RouteResult(source, target, tuple(path), True)
+                break
             header = decision.header
             current = self.ports.neighbor(current, decision.port)
             path.append(current)
-        return RouteResult(source, target, tuple(path), False, reason="hop limit exceeded")
+        if result is None:
+            result = RouteResult(source, target, tuple(path), False,
+                                 reason="hop limit exceeded")
+        if trace is not None:
+            trace.finish(result.delivered, result.reason)
+        if _telemetry_enabled():
+            registry = _telemetry()
+            registry.counter("route.packets", scheme=self.name).inc()
+            if result.delivered:
+                registry.histogram("route.hops", scheme=self.name).observe(result.hops)
+            else:
+                registry.counter("route.failures", scheme=self.name).inc()
+        return result
 
     def route_or_raise(self, source, target, max_hops: Optional[int] = None) -> RouteResult:
         """Like :meth:`route` but raises :class:`DeliveryError` on failure."""

@@ -19,6 +19,7 @@ from typing import Callable, Dict, Iterable, Tuple
 from repro.algebra.base import RoutingAlgebra
 from repro.exceptions import RoutingError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.obs.tracing import span
 from repro.routing.memory import label_bits_for_nodes, port_bits, table_bits
 from repro.routing.model import Decision, RoutingScheme
 
@@ -74,12 +75,13 @@ class PairTableScheme(RoutingScheme):
             node: {} for node in graph.nodes()
         }
         self._paths: Dict[Tuple, Tuple] = {}
-        for source in graph.nodes():
-            for target, path in oracle(source).items():
-                path = tuple(path)
-                self._paths[(source, target)] = path
-                for u, v in zip(path, path[1:]):
-                    self._entries[u][(source, target)] = self.ports.port(u, v)
+        with span("table_encoding", scheme=self.name):
+            for source in graph.nodes():
+                for target, path in oracle(source).items():
+                    path = tuple(path)
+                    self._paths[(source, target)] = path
+                    for u, v in zip(path, path[1:]):
+                        self._entries[u][(source, target)] = self.ports.port(u, v)
 
     def installed_path(self, source, target):
         """The preferred path the oracle installed for (source, target)."""
@@ -105,3 +107,7 @@ class PairTableScheme(RoutingScheme):
 
     def label_bits(self, node) -> int:
         return label_bits_for_nodes(self.graph.number_of_nodes())
+
+    def header_bits(self, header) -> int:
+        """The header carries both endpoint identifiers."""
+        return 2 * label_bits_for_nodes(self.graph.number_of_nodes())

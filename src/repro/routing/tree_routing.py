@@ -36,6 +36,7 @@ import networkx as nx
 from repro.algebra.base import RoutingAlgebra
 from repro.exceptions import NotApplicableError, RoutingError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.obs.tracing import span
 from repro.paths.spanning_tree import preferred_spanning_tree
 from repro.routing.memory import bits_for_count, label_bits_for_nodes, port_bits
 from repro.routing.model import Decision, RoutingScheme
@@ -68,8 +69,9 @@ class TreeRoutingScheme(RoutingScheme):
                  tree: Optional[nx.Graph] = None, check_properties: bool = True):
         super().__init__(graph, algebra, attr)
         if tree is None:
-            tree = preferred_spanning_tree(graph, algebra, attr=attr,
-                                           check_properties=check_properties)
+            with span("preferred_tree", scheme=self.name):
+                tree = preferred_spanning_tree(graph, algebra, attr=attr,
+                                               check_properties=check_properties)
         if not set(tree.nodes()) <= set(graph.nodes()):
             raise NotApplicableError("the routing tree has nodes outside the graph")
         if tree.number_of_nodes() == 0 or tree.number_of_edges() != tree.number_of_nodes() - 1:
@@ -81,7 +83,8 @@ class TreeRoutingScheme(RoutingScheme):
         self._info: Dict[object, _NodeInfo] = {}
         self._labels: Dict[object, Tuple[int, Tuple[int, ...]]] = {}
         self._by_dfs: Dict[int, object] = {}
-        self._build()
+        with span("table_encoding", scheme=self.name):
+            self._build()
 
     # -- construction --------------------------------------------------
 
@@ -200,3 +203,10 @@ class TreeRoutingScheme(RoutingScheme):
         _, light_ports = self._labels[node]
         d = max((self.ports.degree(v) for v in self.graph.nodes()), default=1)
         return dfs_bits + len(light_ports) * port_bits(d)
+
+    def header_bits(self, header) -> int:
+        """Headers are node labels, charged exactly like :meth:`label_bits`."""
+        _, light_ports = header
+        n = self.graph.number_of_nodes()
+        d = max((self.ports.degree(v) for v in self.graph.nodes()), default=1)
+        return label_bits_for_nodes(n) + len(light_ports) * port_bits(d)

@@ -1,0 +1,18 @@
+"""Telemetry tests must leave no global state behind."""
+
+import pytest
+
+from repro.obs import tracing as obs_tracing
+from repro.obs.metrics import disable, reset
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Start disabled and empty; restore that state afterwards."""
+    disable()
+    reset()
+    obs_tracing.clear_spans()
+    yield
+    disable()
+    reset()
+    obs_tracing.clear_spans()

@@ -1,0 +1,80 @@
+"""Tests for the JSON/JSONL exporters and the benchmark summary writer."""
+
+import json
+import os
+
+from repro.obs.metrics import enable
+from repro.obs.metrics import metrics as live_metrics
+from repro.obs.export import (
+    experiment_files,
+    telemetry_snapshot,
+    to_json,
+    trace_to_dict,
+    write_benchmark_summary,
+    write_json,
+    write_jsonl,
+)
+from repro.obs.tracing import PacketTrace, span
+
+
+class TestJsonWriters:
+    def test_to_json_stringifies_exotic_values(self):
+        # node ids/headers may be tuples or other non-JSON types
+        text = to_json({"header": (1, frozenset([2]))})
+        assert json.loads(text)  # valid JSON despite the frozenset
+
+    def test_write_json_roundtrip(self, tmp_path):
+        path = write_json(str(tmp_path / "out" / "x.json"), {"a": 1})
+        with open(path) as handle:
+            assert json.load(handle) == {"a": 1}
+
+    def test_write_jsonl_one_record_per_line(self, tmp_path):
+        path = write_jsonl(str(tmp_path / "x.jsonl"), [{"a": 1}, {"b": 2}])
+        with open(path) as handle:
+            lines = [json.loads(line) for line in handle]
+        assert lines == [{"a": 1}, {"b": 2}]
+
+
+class TestDictViews:
+    def test_trace_to_dict(self):
+        trace = PacketTrace(scheme="s", source=0, target=1)
+        trace.add(0, "forward", 2, 1, header=1, header_bits=6)
+        trace.add(1, "deliver", None, None, header=1, header_bits=6)
+        trace.finish(True)
+        out = trace_to_dict(trace)
+        assert out["scheme"] == "s"
+        assert out["delivered"] is True
+        assert out["hops"] == 1
+        assert out["events"][0]["action"] == "forward"
+        assert out["events"][1]["action"] == "deliver"
+
+    def test_telemetry_snapshot_includes_metrics_and_spans(self):
+        enable()
+        live_metrics().counter("m", scheme="x").inc(3)
+        with span("phase"):
+            pass
+        snap = telemetry_snapshot()
+        assert snap["metrics"]["counters"]["m{scheme=x}"] == 3
+        assert [record["path"] for record in snap["spans"]] == ["phase"]
+        assert "spans" not in telemetry_snapshot(include_spans=False)
+
+
+class TestBenchmarkSummary:
+    def test_write_benchmark_summary(self, tmp_path):
+        results = str(tmp_path / "results")
+        write_json(os.path.join(results, "exp_a.json"), {"x": 1})
+        write_json(os.path.join(results, "exp_b.json"), {"y": 2})
+        path = write_benchmark_summary(
+            results,
+            {"exp_b": {"y": 2}, "exp_a": {"x": 1}},
+            extra={"exit_status": 0},
+        )
+        with open(path) as handle:
+            summary = json.load(handle)
+        assert summary["experiment_count"] == 2
+        assert list(summary["experiments"]) == ["exp_a", "exp_b"]
+        assert summary["exit_status"] == 0
+        assert experiment_files(results) == ["exp_a.json", "exp_b.json"]
+
+    def test_experiment_files_missing_dir(self, tmp_path):
+        assert experiment_files(str(tmp_path / "nope")) == []

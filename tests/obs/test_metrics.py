@@ -1,0 +1,136 @@
+"""Tests for the tagged metrics registry and its no-op disabled default."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    disable,
+    enable,
+    enabled,
+    env_enabled,
+    metrics,
+    registry,
+    reset,
+)
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("route.packets", scheme="cowen")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_same_name_and_tags_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", scheme="cowen")
+        b = reg.counter("m", scheme="cowen")
+        assert a is b
+
+    def test_tag_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", a="1", b="2")
+        b = reg.counter("m", b="2", a="1")
+        assert a is b
+
+    def test_different_tags_different_objects(self):
+        reg = MetricsRegistry()
+        assert reg.counter("m", scheme="cowen") is not reg.counter(
+            "m", scheme="dest-table"
+        )
+
+    def test_kind_namespaces_are_separate(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        reg.gauge("m")
+        reg.histogram("m")
+        assert len(reg) == 3
+
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("protocol.convergence_round")
+        gauge.set(4)
+        gauge.set(7)
+        assert gauge.snapshot() == 7
+
+    def test_histogram_summary_stats(self):
+        hist = MetricsRegistry().histogram("evaluate.hops")
+        for value in (1, 3, 3, 5):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == 12
+        assert hist.min == 1
+        assert hist.max == 5
+        assert hist.avg == 3.0
+        assert hist.buckets == {1: 1, 3: 2, 5: 1}
+
+    def test_histogram_float_buckets_power_of_two(self):
+        hist = MetricsRegistry().histogram("pair.seconds")
+        hist.observe(0.3)   # -> 0.5
+        hist.observe(0.7)   # -> 1.0
+        hist.observe(0.9)   # -> 1.0
+        assert hist.buckets == {0.5: 1, 1.0: 2}
+
+    def test_snapshot_qualified_names(self):
+        reg = MetricsRegistry()
+        reg.counter("route.packets", scheme="cowen").inc(2)
+        reg.gauge("protocol.converged", protocol="path-vector").set(1)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"route.packets{scheme=cowen}": 2}
+        assert snap["gauges"] == {"protocol.converged{protocol=path-vector}": 1}
+
+    def test_reset_clears_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("m").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.counter("m").value == 0
+
+
+class TestEnableDisable:
+    def test_disabled_returns_null_singleton(self):
+        assert not enabled()
+        assert metrics() is NULL_REGISTRY
+
+    def test_null_registry_is_inert(self):
+        counter = NULL_REGISTRY.counter("anything", tag="x")
+        counter.inc(10)
+        NULL_REGISTRY.gauge("g").set(3)
+        NULL_REGISTRY.histogram("h").observe(1)
+        assert isinstance(counter, NullCounter)
+        assert isinstance(NULL_REGISTRY.gauge("g"), NullGauge)
+        assert isinstance(NULL_REGISTRY.histogram("h"), NullHistogram)
+        assert len(NULL_REGISTRY) == 0
+        assert counter.value == 0
+
+    def test_null_metrics_are_shared_singletons(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b", x="1")
+
+    def test_enable_switches_to_live_registry(self):
+        enable()
+        try:
+            assert enabled()
+            assert metrics() is registry()
+            metrics().counter("m").inc()
+            assert registry().counter("m").value == 1
+        finally:
+            disable()
+        # disabling keeps the recorded data until reset()
+        assert registry().counter("m").value == 1
+        reset()
+        assert len(registry()) == 0
+
+    def test_env_enabled_parses_truthy_values(self):
+        for value in ("1", "true", "YES", " on "):
+            assert env_enabled({"REPRO_TELEMETRY": value})
+        for value in ("", "0", "false", "off"):
+            assert not env_enabled({"REPRO_TELEMETRY": value})
+        assert not env_enabled({})

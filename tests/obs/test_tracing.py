@@ -1,0 +1,109 @@
+"""Tests for phase spans and packet-trace capture."""
+
+from repro.obs.metrics import enable, registry
+from repro.obs.tracing import (
+    PacketTrace,
+    TraceCapture,
+    active_capture,
+    capture_traces,
+    clear_spans,
+    span,
+    spans,
+)
+
+
+class TestSpans:
+    def test_disabled_span_records_nothing(self):
+        with span("build_scheme") as path:
+            assert path is None
+        assert spans() == []
+
+    def test_span_records_duration_and_tags(self):
+        enable()
+        with span("oracle", scheme="cowen"):
+            pass
+        (record,) = spans()
+        assert record.name == "oracle"
+        assert record.path == "oracle"
+        assert record.parent is None
+        assert record.duration_s >= 0
+        assert dict(record.tags) == {"scheme": "cowen"}
+
+    def test_nested_spans_build_dotted_paths(self):
+        enable()
+        with span("build_scheme"):
+            with span("preferred_trees"):
+                pass
+            with span("table_encoding"):
+                pass
+        paths = [record.path for record in spans()]
+        # inner spans complete (and are recorded) before the outer one
+        assert paths == [
+            "build_scheme.preferred_trees",
+            "build_scheme.table_encoding",
+            "build_scheme",
+        ]
+        assert spans()[0].parent == "build_scheme"
+
+    def test_spans_feed_the_seconds_histogram(self):
+        enable()
+        with span("oracle"):
+            pass
+        hist = registry().histogram("span.seconds", span="oracle")
+        assert hist.count == 1
+
+    def test_clear_spans(self):
+        enable()
+        with span("x"):
+            pass
+        clear_spans()
+        assert spans() == []
+
+    def test_stack_unwinds_on_exception(self):
+        enable()
+        try:
+            with span("outer"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with span("next"):
+            pass
+        assert [record.path for record in spans()] == ["outer", "next"]
+
+
+class TestPacketTrace:
+    def test_path_matches_event_nodes(self):
+        trace = PacketTrace(scheme="s", source=0, target=2)
+        trace.add(0, "forward", 1, 1, header=2, header_bits=5)
+        trace.add(1, "forward", 0, 2, header=2, header_bits=5)
+        trace.add(2, "deliver", None, None, header=2, header_bits=5)
+        trace.finish(True)
+        assert trace.path == (0, 1, 2)
+        assert trace.hops == 2
+        assert trace.delivered
+        assert [event.index for event in trace.events] == [0, 1, 2]
+
+    def test_capture_limit_drops_excess(self):
+        capture = TraceCapture(limit=2)
+        assert capture.begin("s", 0, 1) is not None
+        assert capture.begin("s", 0, 2) is not None
+        assert capture.begin("s", 0, 3) is None
+        assert len(capture.traces) == 2
+        assert capture.dropped == 1
+
+    def test_unlimited_capture(self):
+        capture = TraceCapture()
+        for i in range(40):
+            assert capture.begin("s", 0, i) is not None
+        assert len(capture.traces) == 40
+        assert capture.dropped == 0
+
+    def test_capture_traces_scoping(self):
+        assert active_capture() is None
+        with capture_traces(limit=4) as capture:
+            assert active_capture() is capture
+            with capture_traces(limit=1) as inner:
+                assert active_capture() is inner
+            # the outer capture is restored after the inner scope
+            assert active_capture() is capture
+        assert active_capture() is None
