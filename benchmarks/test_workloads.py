@@ -14,6 +14,7 @@ import random
 from conftest import record
 from repro.algebra import ShortestPath, valley_free_algebra
 from repro.core import (
+    EvaluationOptions,
     build_scheme,
     evaluate_scheme,
     gravity_pairs,
@@ -36,7 +37,8 @@ def _cowen_workloads():
         ("uniform", uniform_pairs(graph, 400, rng=random.Random(4))),
         ("gravity", gravity_pairs(graph, 400, rng=random.Random(5))),
     ):
-        report = evaluate_scheme(graph, algebra, scheme, pairs=pairs)
+        report = evaluate_scheme(graph, algebra, scheme,
+                                 options=EvaluationOptions(pairs=pairs))
         samples = []
         for s, t in pairs:
             result = scheme.route(s, t)
@@ -70,7 +72,8 @@ def test_bgp_stub_workload(benchmark):
         graph = coned_as_topology(3, 4, 8, rng=random.Random(6))
         scheme = build_scheme(graph, algebra)
         pairs = stub_pairs(graph, 200, rng=random.Random(7))
-        return evaluate_scheme(graph, algebra, scheme, pairs=pairs)
+        return evaluate_scheme(graph, algebra, scheme,
+                               options=EvaluationOptions(pairs=pairs))
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
     record("workload_bgp_stubs", [report.summary()])

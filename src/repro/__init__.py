@@ -25,14 +25,24 @@ The library makes the paper's algebraic compact-routing theory runnable:
 Quickstart::
 
     import random
-    from repro import algebra, graphs, core
+    import repro
+    from repro import algebra, graphs
 
     policy = algebra.WidestPath()
     graph = graphs.erdos_renyi(64, rng=random.Random(1))
     graphs.assign_random_weights(graph, policy, rng=random.Random(2))
-    scheme = core.build_scheme(graph, policy)
-    report = core.evaluate_scheme(graph, policy, scheme)
-    print(report.summary())
+    result = repro.run_experiment(
+        graph, policy, mode="auto",
+        options=repro.EvaluationOptions(rng=7, workers=4),
+    )
+    print(result.summary())
+
+:func:`run_experiment` is the one-call evaluation facade (PR 2): it builds
+the scheme the paper's theory prescribes, routes the requested pairs
+(sharded across worker processes when ``workers > 1``) against the cached
+exact oracle, and returns the scheme plus its
+:class:`~repro.core.simulate.EvaluationReport`.  Lower-level entry points
+(``core.build_scheme``, ``core.evaluate_scheme``) remain available.
 """
 
 from repro import algebra, graphs, paths
@@ -56,6 +66,10 @@ __all__ = [
     "core",
     "lowerbounds",
     "protocols",
+    "run_experiment",
+    "EvaluationOptions",
+    "EvaluationReport",
+    "ExperimentResult",
     "AlgebraError",
     "AxiomViolationError",
     "DeliveryError",
@@ -67,13 +81,25 @@ __all__ = [
 ]
 
 
+#: Evaluation-facade names re-exported lazily from repro.core.
+_CORE_EXPORTS = (
+    "run_experiment", "EvaluationOptions", "EvaluationReport",
+    "ExperimentResult",
+)
+
+
 def __getattr__(name):
     # routing/core/lowerbounds import algebra+paths; lazy loading keeps the
     # top-level import light and avoids cycles during partial builds.
-    if name in ("routing", "core", "lowerbounds", "protocols"):
-        import importlib
+    import importlib
 
+    if name in ("routing", "core", "lowerbounds", "protocols"):
         module = importlib.import_module(f"repro.{name}")
         globals()[name] = module
         return module
+    if name in _CORE_EXPORTS:
+        core = importlib.import_module("repro.core")
+        value = getattr(core, name)
+        globals()[name] = value
+        return value
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -219,20 +219,38 @@ class RoutingAlgebra(abc.ABC):
         """A ``key=`` callable sorting values non-decreasingly by ⪯.
 
         Weight sets carry no native Python ordering, so sorting goes through
-        the algebra's comparison via :func:`functools.cmp_to_key`.
+        the algebra's comparison via :func:`functools.cmp_to_key`.  The key
+        is memoized per instance — hot paths (the generalized-Dijkstra heap,
+        protocol preference scans) call this once per comparison site, and
+        a key comparison costs at most two ``leq`` evaluations.
         """
+        cached = getattr(self, "_comparison_key_cache", None)
+        if cached is not None:
+            return cached
         import functools
 
         def cmp(w1, w2):
-            if self.eq(w1, w2):
-                return 0
-            return -1 if self.leq(w1, w2) else 1
+            if self.leq(w1, w2):
+                return 0 if self.leq(w2, w1) else -1
+            return 1
 
-        return functools.cmp_to_key(cmp)
+        key = functools.cmp_to_key(cmp)
+        try:
+            self._comparison_key_cache = key
+        except AttributeError:  # __slots__ or frozen subclasses: skip caching
+            pass
+        return key
 
     def sorted_weights(self, weights: Iterable[Weight]) -> list[Weight]:
         """Return *weights* sorted non-decreasingly by ⪯ (stable)."""
         return sorted(weights, key=self.comparison_key())
+
+    def __getstate__(self):
+        # The memoized comparison key closes over self and is not
+        # picklable; workers rebuild it lazily on first use.
+        state = self.__dict__.copy()
+        state.pop("_comparison_key_cache", None)
+        return state
 
     def __repr__(self):
         return f"<{type(self).__name__} {self.name!r}>"

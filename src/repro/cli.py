@@ -8,8 +8,12 @@ Commands:
   route all pairs and report delivery/stretch/memory (``--trace`` prints
   the hop-by-hop packet event log, ``--json`` emits the machine-readable
   report);
+* ``evaluate <policy>`` — the :func:`repro.run_experiment` facade:
+  build + evaluate under one seed, with ``--pairs N`` sampling and
+  ``--workers N`` sharded parallel evaluation;
 * ``profile <policy>`` — run the full pipeline with telemetry enabled and
-  dump phase timers, metrics and protocol message counts as JSON;
+  dump phase timers, metrics and protocol message counts as JSON
+  (``--workers N`` parallelizes the pair evaluation);
 * ``scale <policy>`` — measure per-node table bits over growing n and fit
   the scaling class (the Table 1 experiment for one policy);
 * ``table1`` — the full six-row Table 1 reproduction;
@@ -20,6 +24,7 @@ Examples::
     python -m repro classify widest-path
     python -m repro route shortest-path --n 64 --topology barabasi-albert --compact
     python -m repro route widest-path --n 32 --trace
+    python -m repro evaluate shortest-path --n 400 --topology waxman --workers 4
     python -m repro profile widest-path --n 64
     python -m repro scale shortest-widest-path --sizes 16,24,32
 
@@ -46,7 +51,14 @@ from repro.algebra import (
     valley_free_algebra,
     widest_shortest_path,
 )
-from repro.core import build_scheme, classify, evaluate_scheme, fit_scaling
+from repro.core import (
+    EvaluationOptions,
+    build_scheme,
+    classify,
+    evaluate_scheme,
+    fit_scaling,
+    run_experiment,
+)
 from repro.exceptions import ReproError
 from repro.graphs import (
     FAMILIES,
@@ -149,8 +161,10 @@ def cmd_route(args) -> int:
     try:
         scheme = build_scheme(graph, algebra, mode=mode,
                               rng=random.Random(args.seed + 1))
-        report = evaluate_scheme(graph, algebra, scheme,
-                                 trace_limit=args.trace_limit)
+        report = evaluate_scheme(
+            graph, algebra, scheme,
+            options=EvaluationOptions(trace_limit=args.trace_limit),
+        )
     finally:
         if not was_enabled:
             obs.disable()
@@ -176,6 +190,40 @@ def cmd_route(args) -> int:
     return 1 if report.failures else 0
 
 
+def cmd_evaluate(args) -> int:
+    """The one-call experiment facade: build + evaluate under one seed."""
+    algebra, is_bgp = _policy(args.policy)
+    graph = _topology(algebra, is_bgp, args.topology, args.n, args.seed)
+    mode = "compact" if args.compact else "auto"
+    options = EvaluationOptions(
+        pair_count=args.pairs,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        rng=args.seed + 1,
+    )
+    result = run_experiment(graph, algebra, mode=mode, options=options)
+    report = result.report
+    if args.json:
+        payload = {
+            "policy": args.policy,
+            "scheme": result.scheme.name,
+            "workers": args.workers,
+            "topology": {
+                "family": args.topology,
+                "n": graph.number_of_nodes(),
+                "m": graph.number_of_edges(),
+            },
+            "report": obs.report_to_dict(report),
+        }
+        print(obs.to_json(payload))
+    else:
+        print(f"topology: n={graph.number_of_nodes()} m={graph.number_of_edges()}")
+        print(report.summary())
+        if report.failures:
+            print(f"failures (first {len(report.failures)}): {report.failures}")
+    return 1 if report.failures else 0
+
+
 def cmd_profile(args) -> int:
     """End-to-end pipeline under full telemetry; emits one JSON document."""
     algebra, is_bgp = _policy(args.policy)
@@ -187,8 +235,11 @@ def cmd_profile(args) -> int:
         mode = "compact" if args.compact else "auto"
         scheme = build_scheme(graph, algebra, mode=mode,
                               rng=random.Random(args.seed + 1))
-        report = evaluate_scheme(graph, algebra, scheme,
-                                 trace_limit=args.trace_limit)
+        report = evaluate_scheme(
+            graph, algebra, scheme,
+            options=EvaluationOptions(trace_limit=args.trace_limit,
+                                      workers=args.workers),
+        )
 
         # Protocol simulations on a copy (fail_edge and friends mutate), so
         # the profile also carries message/convergence accounting.
@@ -292,6 +343,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument("--seed", type=int, default=0)
     p_route.set_defaults(func=cmd_route)
 
+    p_evaluate = sub.add_parser(
+        "evaluate",
+        help="build + evaluate one experiment (the run_experiment facade)",
+    )
+    p_evaluate.add_argument("policy")
+    p_evaluate.add_argument("--n", type=int, default=48)
+    p_evaluate.add_argument("--topology", default="erdos-renyi")
+    p_evaluate.add_argument("--compact", action="store_true",
+                            help="use the Theorem 3 compact scheme where possible")
+    p_evaluate.add_argument("--pairs", type=int, default=None,
+                            help="sample this many ordered pairs (default: all)")
+    p_evaluate.add_argument("--workers", type=int, default=None,
+                            help="evaluate pair shards across N processes")
+    p_evaluate.add_argument("--shard-size", type=int, default=None,
+                            help="pairs per shard (default: balanced)")
+    p_evaluate.add_argument("--json", action="store_true",
+                            help="emit the report as JSON instead of text")
+    p_evaluate.add_argument("--seed", type=int, default=0)
+    p_evaluate.set_defaults(func=cmd_evaluate)
+
     p_profile = sub.add_parser(
         "profile",
         help="run the pipeline with telemetry on; dump timings/metrics JSON",
@@ -300,6 +371,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--n", type=int, default=48)
     p_profile.add_argument("--topology", default="erdos-renyi")
     p_profile.add_argument("--compact", action="store_true")
+    p_profile.add_argument("--workers", type=int, default=None,
+                           help="evaluate pair shards across N processes")
     p_profile.add_argument("--trace-limit", type=int, default=4)
     p_profile.add_argument("--output", default=None,
                            help="write the JSON document here instead of stdout")

@@ -22,11 +22,19 @@ from repro.core.investigate import Investigation, find_lemma2_generator, investi
 from repro.core.table1 import Table1Row, format_table1, reproduce_table1
 from repro.core.workload import gravity_pairs, stub_pairs, stubs, uniform_pairs
 from repro.core.simulate import (
+    EvaluationOptions,
     EvaluationReport,
+    ExperimentResult,
+    OracleCache,
+    as_rng,
     evaluate_scheme,
+    graph_signature,
+    oracle_cache,
     preferred_weight_oracle,
+    run_experiment,
     sample_pairs,
 )
+from repro.core.parallel import evaluate_sharded, shard_pairs
 
 __all__ = [
     "Classification",
@@ -56,8 +64,17 @@ __all__ = [
     "Table1Row",
     "format_table1",
     "reproduce_table1",
+    "EvaluationOptions",
     "EvaluationReport",
+    "ExperimentResult",
+    "OracleCache",
+    "as_rng",
     "evaluate_scheme",
+    "evaluate_sharded",
+    "graph_signature",
+    "oracle_cache",
     "preferred_weight_oracle",
+    "run_experiment",
     "sample_pairs",
+    "shard_pairs",
 ]

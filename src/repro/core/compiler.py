@@ -57,9 +57,13 @@ def _build_bgp(graph, algebra, attr):
 
 
 def build_scheme(graph, algebra: RoutingAlgebra, mode: str = "auto",
-                 attr: str = WEIGHT_ATTR, rng: Optional[random.Random] = None,
+                 attr: str = WEIGHT_ATTR, rng=None,
                  **kwargs) -> RoutingScheme:
     """Build the routing scheme the paper's theory prescribes for *algebra*.
+
+    *rng* seeds any randomized construction step (Cowen landmark
+    selection); an int seed or a ``random.Random`` are both accepted, so
+    one recorded seed reproduces the built scheme.
 
     *mode*:
 
@@ -78,9 +82,11 @@ def build_scheme(graph, algebra: RoutingAlgebra, mode: str = "auto",
     phases (preferred-tree construction, landmark selection, table
     encoding) as nested spans.
     """
+    from repro.core.simulate import as_rng
+
     with span("build_scheme", algebra=algebra.name, mode=mode):
-        return _build_scheme(graph, algebra, mode=mode, attr=attr, rng=rng,
-                             **kwargs)
+        return _build_scheme(graph, algebra, mode=mode, attr=attr,
+                             rng=as_rng(rng), **kwargs)
 
 
 def _build_scheme(graph, algebra: RoutingAlgebra, mode: str, attr: str,

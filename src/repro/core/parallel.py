@@ -1,0 +1,236 @@
+"""Sharded parallel pair evaluation across worker processes.
+
+Routing every ordered pair through a built scheme is embarrassingly
+parallel: each pair's verification touches only read-only state (the
+scheme's tables, the graph, the exact oracle).  This module splits the
+pair list into contiguous shards, evaluates them on a
+``ProcessPoolExecutor``, and folds the per-shard
+:class:`~repro.core.simulate.ShardResult` objects — counts, stretch
+statistics, failure lists, packet traces and metric registries — back into
+exactly the aggregate a serial pass would produce.  Merging is exact
+because every aggregate involved is associative:
+
+* counts and :class:`~repro.routing.stretch.StretchReport` add;
+* failures and traces concatenate in shard order (shards are contiguous
+  slices, so the order matches a serial scan);
+* worker :class:`~repro.obs.metrics.MetricsRegistry` objects merge into
+  the parent registry, and worker span logs are appended to the parent's.
+
+Worker setup follows the platform's best start method:
+
+* **fork** (Linux, the common case): workers inherit the parent's graph,
+  scheme and — crucially — the cached oracle by copy-on-write, so nothing
+  heavyweight is pickled and the all-pairs computation is never repeated;
+* **spawn** (fallback): the graph, algebra and scheme are pickled to each
+  worker once via the pool initializer, and each worker rebuilds the
+  oracle once through its own process-local
+  :data:`~repro.core.simulate.oracle_cache`.
+
+If worker state cannot be pickled under spawn, or the pool breaks, the
+engine falls back to serial evaluation (counted on the
+``parallel.fallback`` metric) rather than failing the experiment.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import simulate as _simulate
+from repro.core.simulate import ShardResult, route_shard
+from repro.obs import tracing as _tracing
+from repro.obs.metrics import (
+    enable as _telemetry_enable,
+    enabled as _telemetry_enabled,
+    metrics as _telemetry,
+    registry as _live_registry,
+    reset as _metrics_reset,
+    swap_registry as _swap_registry,
+)
+
+#: Shards per worker when ``shard_size`` is not pinned: a few per worker
+#: smooths out per-shard cost variance without drowning in task overhead.
+SHARDS_PER_WORKER = 4
+
+
+def shard_pairs(pairs: Sequence[Tuple], workers: int,
+                shard_size: Optional[int] = None) -> List[List[Tuple]]:
+    """Split *pairs* into contiguous shards.
+
+    Contiguity is what makes the merge exact: concatenating shard results
+    in order reproduces the serial scan order of failures and traces.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return []
+    if shard_size is None:
+        shard_size = max(1, math.ceil(len(pairs) / max(1, workers * SHARDS_PER_WORKER)))
+    return [pairs[i:i + shard_size] for i in range(0, len(pairs), shard_size)]
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: (graph, algebra, scheme, oracle, attr, max_k, trace_limit) — set in the
+#: parent right before forking (inherited), or rebuilt by the spawn
+#: initializer from its pickled payload.
+_WORKER_STATE = None
+
+
+def _reset_worker_telemetry() -> None:
+    """Fresh telemetry in a new worker: drop state inherited from the parent.
+
+    A forked child starts with a copy of the parent's registry, span log
+    and any active trace capture; merging those back would double-count,
+    so the worker starts empty and captures traces into its own buffer.
+    """
+    _metrics_reset()
+    _tracing.clear_spans()
+    _tracing._capture = None
+
+
+def _init_fork_worker() -> None:
+    _reset_worker_telemetry()
+
+
+def _init_spawn_worker(payload: bytes, telemetry_enabled: bool) -> None:
+    global _WORKER_STATE
+    graph, algebra, scheme, attr, max_k, trace_limit = pickle.loads(payload)
+    if telemetry_enabled:
+        _telemetry_enable()
+    _reset_worker_telemetry()
+    # One oracle rebuild per worker process, cached for every shard.
+    oracle = _simulate.oracle_cache.get(graph, algebra, attr=attr,
+                                        scheme_name=scheme.name)
+    _WORKER_STATE = (graph, algebra, scheme, oracle, attr, max_k, trace_limit)
+
+
+def _run_shard(shard: List[Tuple]) -> ShardResult:
+    """Evaluate one shard in a worker; ship back results plus telemetry."""
+    _graph, algebra, scheme, oracle, _attr, max_k, trace_limit = _WORKER_STATE
+    result = route_shard(algebra, scheme, oracle, shard,
+                         max_k=max_k, trace_limit=trace_limit)
+    if _telemetry_enabled():
+        # Hand each shard's telemetry over exactly once: detach the live
+        # registry (kept intact for pickling) and start the next shard empty.
+        result.registry = _swap_registry()
+        result.spans = _tracing.spans()
+        _tracing.clear_spans()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+def _merge_worker_telemetry(results: List[ShardResult], trace_limit: int
+                            ) -> Tuple:
+    """Fold worker registries/spans into this process; return merged traces."""
+    live = _live_registry()
+    for result in results:
+        if result.registry is not None:
+            live.merge(result.registry)
+            result.registry = None
+        if result.spans:
+            _tracing.extend_spans(result.spans)
+            result.spans = None
+
+    active = _tracing.active_capture()
+    merged_traces: List = []
+    dropped = 0
+    for result in results:
+        for trace in result.traces:
+            if active is not None:
+                if active.limit is not None and len(active.traces) >= active.limit:
+                    active.dropped += 1
+                else:
+                    active.traces.append(trace)
+            elif len(merged_traces) < trace_limit:
+                merged_traces.append(trace)
+            else:
+                dropped += 1
+    if active is not None:
+        # Matches serial semantics: with a caller capture active, traces
+        # land in that capture and the report carries none of its own.
+        return ()
+    return tuple(merged_traces)
+
+
+def _serial_fallback(algebra, scheme, oracle, pairs, max_k, trace_limit,
+                     reason: str) -> ShardResult:
+    _telemetry().counter("parallel.fallback", reason=reason).inc()
+    return route_shard(algebra, scheme, oracle, pairs,
+                       max_k=max_k, trace_limit=trace_limit)
+
+
+def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
+                     workers: int, shard_size: Optional[int] = None,
+                     max_k: int = 16, trace_limit: int = 16) -> ShardResult:
+    """Evaluate *pairs* across *workers* processes; return the merged result.
+
+    The merged :class:`ShardResult` is bit-identical to what
+    :func:`repro.core.simulate.route_shard` would return over the whole
+    pair list (telemetry timing values aside), so
+    ``finalize_report`` produces the same :class:`EvaluationReport` either
+    way.
+    """
+    global _WORKER_STATE
+    pairs = list(pairs)
+    shards = shard_pairs(pairs, workers, shard_size=shard_size)
+    if len(shards) <= 1:
+        return route_shard(algebra, scheme, oracle, pairs,
+                           max_k=max_k, trace_limit=trace_limit)
+
+    workers = min(workers, len(shards))
+    telemetry = _telemetry_enabled()
+    methods = multiprocessing.get_all_start_methods()
+    use_fork = "fork" in methods
+
+    if use_fork:
+        context = multiprocessing.get_context("fork")
+        initializer, initargs = _init_fork_worker, ()
+        _WORKER_STATE = (graph, algebra, scheme, oracle, scheme.attr,
+                         max_k, trace_limit)
+    else:
+        context = multiprocessing.get_context()
+        try:
+            payload = pickle.dumps(
+                (graph, algebra, scheme, scheme.attr, max_k, trace_limit)
+            )
+        except Exception:
+            return _serial_fallback(algebra, scheme, oracle, pairs, max_k,
+                                    trace_limit, reason="unpicklable")
+        initializer, initargs = _init_spawn_worker, (payload, telemetry)
+
+    try:
+        with _tracing.span("route_pairs_parallel", scheme=scheme.name,
+                           workers=str(workers), shards=str(len(shards))):
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context,
+                                     initializer=initializer,
+                                     initargs=initargs) as executor:
+                results = list(executor.map(_run_shard, shards))
+    except (BrokenProcessPool, pickle.PicklingError, OSError):
+        return _serial_fallback(algebra, scheme, oracle, pairs, max_k,
+                                trace_limit, reason="pool-failure")
+    finally:
+        if use_fork:
+            _WORKER_STATE = None
+
+    # Fold worker telemetry before merging counts: ShardResult.merge
+    # concatenates traces, which would double-count them afterwards.
+    merged_traces: Tuple = ()
+    if telemetry:
+        merged_traces = _merge_worker_telemetry(results, trace_limit)
+    merged = results[0]
+    for result in results[1:]:
+        merged.merge(result)
+    merged.traces = merged_traces
+    merged.registry = None
+    merged.spans = None
+    return merged

@@ -4,16 +4,39 @@
 it pushes packets between node pairs through the hop-by-hop model, compares
 each realized path weight to the true preferred weight (from an appropriate
 exact engine), and aggregates delivery, stretch and memory into one report.
+
+The public evaluation API (PR 2) is keyword-only behind
+:class:`EvaluationOptions`::
+
+    options = EvaluationOptions(pair_count=2000, workers=4, rng=7)
+    report = evaluate_scheme(graph, algebra, scheme, options=options)
+
+or through the one-call facade :func:`run_experiment`, which builds the
+prescribed scheme and evaluates it under a single seed.  The pre-PR-2
+signature (``pairs=``, ``oracle=``, ``max_k=``, ``trace_limit=`` passed
+directly) keeps working through a shim that emits ``DeprecationWarning``;
+see ``docs/EVALUATION_API.md`` for the timeline.
+
+Exact oracles are cached process-wide in :data:`oracle_cache`, keyed on the
+graph's content signature and the algebra, so repeated evaluations of the
+same instance (benchmarks, profiles, scale sweeps) pay the all-pairs
+computation once.  With ``workers > 1`` the pair set is split into
+contiguous shards and evaluated in parallel by
+:mod:`repro.core.parallel`; shard merging is exact, so the report is
+bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
+import threading
 import time
+import warnings
+from collections import OrderedDict
 from contextlib import nullcontext
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.obs import tracing as _obs_tracing
 from repro.obs.metrics import enabled as _telemetry_enabled
@@ -31,6 +54,18 @@ from repro.routing.stretch import StretchReport, measure_stretch
 
 #: Oracle signature: (source, target) -> preferred weight (PHI if unreachable).
 WeightOracle = Callable[[object, object], object]
+
+#: Failures kept on a report (the rest are counted but not enumerated).
+MAX_REPORTED_FAILURES = 16
+
+
+def as_rng(rng: Union[int, random.Random, None]) -> Optional[random.Random]:
+    """Normalize a seed to a ``random.Random`` (``None`` passes through)."""
+    if rng is None or isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, bool) or not isinstance(rng, int):
+        raise TypeError(f"rng must be an int seed or random.Random, got {rng!r}")
+    return random.Random(rng)
 
 
 def preferred_weight_oracle(graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR
@@ -81,6 +116,139 @@ def preferred_weight_oracle(graph, algebra: RoutingAlgebra, attr: str = WEIGHT_A
     return enum_oracle
 
 
+# ---------------------------------------------------------------------------
+# oracle cache
+# ---------------------------------------------------------------------------
+
+
+def graph_signature(graph, attr: str = WEIGHT_ATTR) -> Tuple:
+    """A content signature of (nodes, weighted edges) for cache keying.
+
+    Computed from reprs so heterogeneous node/weight types stay sortable;
+    O(n + m log m), which is negligible next to any exact oracle build.
+    Mutating the graph (adding/removing edges, changing weights) changes
+    the signature, so stale entries are never returned — they simply age
+    out of the LRU.
+    """
+    nodes = tuple(sorted(repr(node) for node in graph.nodes()))
+    edges = tuple(sorted(
+        (repr(u), repr(v), repr(data.get(attr)))
+        for u, v, data in graph.edges(data=True)
+    ))
+    return (graph.is_directed(), attr, nodes, edges)
+
+
+def _algebra_key(algebra: RoutingAlgebra) -> Tuple:
+    return (type(algebra).__module__, type(algebra).__qualname__, algebra.name)
+
+
+class OracleCache:
+    """Process-wide LRU of exact preferred-weight oracles.
+
+    Keyed on ``(graph_signature, algebra identity, attr)``; bounded so the
+    captured all-pairs structures (and the graphs they close over) cannot
+    grow without limit across a long benchmark session.
+    """
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, WeightOracle]" = OrderedDict()
+
+    def get(self, graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
+            scheme_name: str = "") -> WeightOracle:
+        """The cached oracle for this instance, building (and timing) on miss.
+
+        Only a miss opens the ``oracle`` span, so span counts double as
+        cache-behavior assertions in tests and profiles.
+        """
+        key = (graph_signature(graph, attr), _algebra_key(algebra))
+        with self._lock:
+            oracle = self._entries.get(key)
+            if oracle is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                _telemetry().counter("oracle_cache.hits").inc()
+                return oracle
+        self.misses += 1
+        _telemetry().counter("oracle_cache.misses").inc()
+        with _obs_tracing.span("oracle", scheme=scheme_name):
+            oracle = preferred_weight_oracle(graph, algebra, attr=attr)
+        with self._lock:
+            self._entries[key] = oracle
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return oracle
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries), "capacity": self.capacity}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide oracle cache every evaluation path goes through.
+oracle_cache = OracleCache()
+
+
+# ---------------------------------------------------------------------------
+# options and reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvaluationOptions:
+    """Keyword-only knobs of :func:`evaluate_scheme` / :func:`run_experiment`.
+
+    * ``pairs`` — explicit ordered pairs to route (default: all, or a
+      sample of ``pair_count`` of them);
+    * ``pair_count`` — sample size when ``pairs`` is not given;
+    * ``oracle`` — preferred-weight oracle override (default: the cached
+      exact oracle for the instance);
+    * ``max_k`` — largest stretch exponent probed per pair;
+    * ``trace_limit`` — packet traces captured when telemetry is on;
+    * ``workers`` — process count for sharded parallel evaluation
+      (``None``/``0``/``1`` = serial);
+    * ``shard_size`` — pairs per shard (default: balanced at about four
+      shards per worker);
+    * ``rng`` — int seed or ``random.Random``; one seed reproduces the
+      whole experiment (landmark selection and pair sampling included).
+    """
+
+    pairs: Optional[Sequence[Tuple]] = None
+    pair_count: Optional[int] = None
+    oracle: Optional[WeightOracle] = None
+    max_k: int = 16
+    trace_limit: int = 16
+    workers: Optional[int] = None
+    shard_size: Optional[int] = None
+    rng: Union[int, random.Random, None] = None
+
+    def __post_init__(self):
+        if self.max_k < 1:
+            raise ValueError(f"max_k must be >= 1, got {self.max_k}")
+        if self.trace_limit < 0:
+            raise ValueError(f"trace_limit must be >= 0, got {self.trace_limit}")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+        if self.pair_count is not None and self.pair_count < 0:
+            raise ValueError(f"pair_count must be >= 0, got {self.pair_count}")
+
+
 @dataclass(frozen=True)
 class EvaluationReport:
     """The outcome of routing a set of pairs through a scheme."""
@@ -104,6 +272,13 @@ class EvaluationReport:
         return self.optimal == self.pairs
 
     def summary(self) -> str:
+        if self.pairs == 0:
+            return (
+                f"{self.scheme_name}: no routable pairs evaluated "
+                f"(empty pair set or fully disconnected instance); "
+                f"memory max {self.memory.max_bits}b "
+                f"(avg {self.memory.avg_bits:.1f}b)"
+            )
         return (
             f"{self.scheme_name}: delivered {self.delivered}/{self.pairs}, "
             f"optimal {self.optimal}/{self.pairs}, max stretch "
@@ -112,50 +287,74 @@ class EvaluationReport:
         )
 
 
-def sample_pairs(graph, count: Optional[int] = None, rng: Optional[random.Random] = None
-                 ) -> list:
-    """All ordered pairs, or a random sample of *count* of them."""
+def sample_pairs(graph, count: Optional[int] = None,
+                 rng: Union[int, random.Random, None] = None) -> list:
+    """All ordered pairs, or a random sample of *count* of them.
+
+    *rng* may be an int seed or a ``random.Random``; sampling is
+    deterministic given either (the default is seed 0), so a recorded seed
+    replays the identical workload.
+    """
     nodes = sorted(graph.nodes())
     pairs = [(s, t) for s, t in itertools.permutations(nodes, 2)]
     if count is None or count >= len(pairs):
         return pairs
-    rng = rng or random.Random(0)
+    rng = as_rng(rng) or random.Random(0)
     return rng.sample(pairs, count)
 
 
-def evaluate_scheme(graph, algebra: RoutingAlgebra, scheme: RoutingScheme,
-                    pairs: Optional[Iterable[Tuple]] = None,
-                    oracle: Optional[WeightOracle] = None,
-                    max_k: int = 16,
-                    trace_limit: int = 16) -> EvaluationReport:
-    """Route every pair, verify against the preferred-weight oracle, report.
+# ---------------------------------------------------------------------------
+# the routing loop (one shard)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardResult:
+    """The mergeable outcome of routing one contiguous slice of pairs.
+
+    Serial evaluation is the one-shard special case; the parallel engine
+    folds many of these (in shard order) into the same aggregate a single
+    pass would produce.  ``registry``/``spans`` carry a worker process's
+    telemetry back to the parent and stay ``None`` on in-process shards.
+    """
+
+    routed: int
+    delivered: int
+    optimal: int
+    stretch: StretchReport
+    failures: List[Tuple]
+    traces: Tuple = ()
+    registry: Optional[object] = None
+    spans: Optional[List] = None
+
+    def merge(self, other: "ShardResult") -> None:
+        self.routed += other.routed
+        self.delivered += other.delivered
+        self.optimal += other.optimal
+        self.stretch = self.stretch.merge(other.stretch)
+        self.failures.extend(other.failures)
+        self.traces = self.traces + other.traces
+
+
+def route_shard(algebra: RoutingAlgebra, scheme: RoutingScheme,
+                oracle: WeightOracle, pairs: Iterable[Tuple],
+                max_k: int = 16, trace_limit: int = 16) -> ShardResult:
+    """Route *pairs* through *scheme*, verifying each against *oracle*.
 
     Unreachable pairs (preferred weight ``PHI``) are skipped — the model
-    only promises routes where a traversable path exists.
-
-    With telemetry enabled (:func:`repro.obs.enable`), the evaluation
-    additionally records a per-pair routing-latency histogram and a hop-
-    count histogram, and captures up to *trace_limit* hop-level packet
-    traces, surfaced on ``EvaluationReport.traces``.  With telemetry off
-    (the default) none of this runs and the report is unchanged.
+    only promises routes where a traversable path exists.  Traces are
+    captured only when telemetry is on and no caller capture is already
+    active, so an explicit ``with obs.capture_traces():`` keeps collecting
+    into the caller's buffer.
     """
-    if pairs is None:
-        pairs = sample_pairs(graph)
-    if oracle is None:
-        with _obs_tracing.span("oracle", scheme=scheme.name):
-            oracle = preferred_weight_oracle(graph, algebra, attr=scheme.attr)
-
     telemetry = _telemetry_enabled()
     registry = _telemetry()
     routed = 0
     delivered = 0
     optimal = 0
-    failures = []
+    failures: List[Tuple] = []
     samples = []
-    traces = ()
-    # Capture traces only if no caller-provided capture is already active,
-    # so an explicit ``with obs.capture_traces():`` around the evaluation
-    # keeps collecting into the caller's buffer.
+    traces: Tuple = ()
     own_capture = telemetry and _obs_tracing.active_capture() is None
     with _obs_tracing.span("route_pairs", scheme=scheme.name), \
             (_obs_tracing.capture_traces(limit=trace_limit) if own_capture else
@@ -191,18 +390,143 @@ def evaluate_scheme(graph, algebra: RoutingAlgebra, scheme: RoutingScheme,
                 optimal += 1
         if capture is not None:
             traces = tuple(capture.traces)
-    if telemetry:
-        registry.counter("evaluate.pairs", scheme=scheme.name).inc(routed)
-        registry.counter("evaluate.delivered", scheme=scheme.name).inc(delivered)
-        registry.counter("evaluate.optimal", scheme=scheme.name).inc(optimal)
     stretch = measure_stretch(algebra, samples, scheme_name=scheme.name, max_k=max_k)
+    return ShardResult(
+        routed=routed, delivered=delivered, optimal=optimal,
+        stretch=stretch, failures=failures, traces=traces,
+    )
+
+
+def finalize_report(scheme: RoutingScheme, merged: ShardResult) -> EvaluationReport:
+    """Turn the (merged) shard outcome into the public report."""
+    if _telemetry_enabled():
+        registry = _telemetry()
+        registry.counter("evaluate.pairs", scheme=scheme.name).inc(merged.routed)
+        registry.counter("evaluate.delivered", scheme=scheme.name).inc(merged.delivered)
+        registry.counter("evaluate.optimal", scheme=scheme.name).inc(merged.optimal)
     return EvaluationReport(
         scheme_name=scheme.name,
-        pairs=routed,
-        delivered=delivered,
-        optimal=optimal,
-        stretch=stretch,
+        pairs=merged.routed,
+        delivered=merged.delivered,
+        optimal=merged.optimal,
+        stretch=merged.stretch,
         memory=memory_report(scheme),
-        failures=tuple(failures[:16]),
-        traces=traces,
+        failures=tuple(merged.failures[:MAX_REPORTED_FAILURES]),
+        traces=merged.traces,
     )
+
+
+# ---------------------------------------------------------------------------
+# the public evaluation entry points
+# ---------------------------------------------------------------------------
+
+_LEGACY_OPTION_NAMES = ("pairs", "oracle", "max_k", "trace_limit")
+
+
+def evaluate_scheme(graph, algebra: RoutingAlgebra, scheme: RoutingScheme,
+                    *legacy_args, options: Optional[EvaluationOptions] = None,
+                    **legacy_kwargs) -> EvaluationReport:
+    """Route pairs through *scheme*, verify against the exact oracle, report.
+
+    All knobs travel in ``options`` (an :class:`EvaluationOptions`); with
+    ``options=None`` the defaults apply (all ordered pairs, cached oracle,
+    serial).  Passing the pre-PR-2 arguments (``pairs``, ``oracle``,
+    ``max_k``, ``trace_limit``) directly still works but emits a
+    ``DeprecationWarning`` — wrap them in ``EvaluationOptions`` instead.
+
+    With telemetry enabled (:func:`repro.obs.enable`), the evaluation
+    additionally records per-pair latency and hop-count histograms and
+    captures up to ``options.trace_limit`` packet traces, surfaced on
+    ``EvaluationReport.traces``.  With ``options.workers > 1`` shards are
+    evaluated across worker processes and merged exactly (including the
+    workers' telemetry); the report is identical to a serial run.
+    """
+    if legacy_args and isinstance(legacy_args[0], EvaluationOptions):
+        if options is not None:
+            raise TypeError("options passed both positionally and by keyword")
+        options = legacy_args[0]
+        legacy_args = legacy_args[1:]
+        if legacy_args:
+            raise TypeError("no further positional arguments allowed after options")
+    if legacy_args or legacy_kwargs:
+        if options is not None:
+            raise TypeError(
+                "pass either options=EvaluationOptions(...) or the deprecated "
+                "pairs/oracle/max_k/trace_limit arguments, not both"
+            )
+        if len(legacy_args) > len(_LEGACY_OPTION_NAMES):
+            raise TypeError(
+                f"evaluate_scheme takes at most {3 + len(_LEGACY_OPTION_NAMES)} "
+                f"positional arguments"
+            )
+        legacy = dict(zip(_LEGACY_OPTION_NAMES, legacy_args))
+        for name, value in legacy_kwargs.items():
+            if name not in _LEGACY_OPTION_NAMES:
+                raise TypeError(f"unexpected keyword argument {name!r}")
+            if name in legacy:
+                raise TypeError(f"got multiple values for argument {name!r}")
+            legacy[name] = value
+        warnings.warn(
+            "passing pairs/oracle/max_k/trace_limit to evaluate_scheme directly "
+            "is deprecated since 1.1.0 and will be removed in 2.0; wrap them in "
+            "EvaluationOptions and pass options=...",
+            DeprecationWarning, stacklevel=2,
+        )
+        options = EvaluationOptions(**legacy)
+    if options is None:
+        options = EvaluationOptions()
+
+    if options.pairs is not None:
+        pairs = list(options.pairs)
+    else:
+        pairs = sample_pairs(graph, count=options.pair_count, rng=options.rng)
+    oracle = options.oracle
+    if oracle is None:
+        oracle = oracle_cache.get(graph, algebra, attr=scheme.attr,
+                                  scheme_name=scheme.name)
+
+    workers = options.workers or 0
+    if workers > 1 and len(pairs) > 1:
+        from repro.core import parallel
+
+        merged = parallel.evaluate_sharded(
+            graph, algebra, scheme, oracle, pairs,
+            workers=workers, shard_size=options.shard_size,
+            max_k=options.max_k, trace_limit=options.trace_limit,
+        )
+    else:
+        merged = route_shard(algebra, scheme, oracle, pairs,
+                             max_k=options.max_k, trace_limit=options.trace_limit)
+    return finalize_report(scheme, merged)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """What :func:`run_experiment` hands back: the scheme and its report."""
+
+    scheme: RoutingScheme
+    report: EvaluationReport
+
+    def summary(self) -> str:
+        return self.report.summary()
+
+
+def run_experiment(graph, algebra: RoutingAlgebra, *, mode: str = "auto",
+                   options: Optional[EvaluationOptions] = None) -> ExperimentResult:
+    """Build the prescribed scheme for *algebra* and evaluate it — one call.
+
+    The single public entry point the CLI, benchmarks and tests share:
+    ``options.rng`` (an int seed or ``random.Random``) is threaded through
+    both scheme construction (landmark selection) and pair sampling, so one
+    seed reproduces the entire experiment bit for bit.
+    """
+    from repro.core.compiler import build_scheme
+
+    if options is None:
+        options = EvaluationOptions()
+    rng = as_rng(options.rng)
+    scheme = build_scheme(graph, algebra, mode=mode, rng=rng)
+    if rng is not None:
+        options = replace(options, rng=rng)
+    report = evaluate_scheme(graph, algebra, scheme, options=options)
+    return ExperimentResult(scheme=scheme, report=report)

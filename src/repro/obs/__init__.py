@@ -52,6 +52,7 @@ from repro.obs.tracing import (
     active_capture,
     capture_traces,
     clear_spans,
+    extend_spans,
     span,
     spans,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "active_capture",
     "capture_traces",
     "clear_spans",
+    "extend_spans",
     "span",
     "spans",
     "export",

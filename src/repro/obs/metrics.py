@@ -56,6 +56,10 @@ class Counter:
             raise ValueError(f"counters only go up; got increment {amount}")
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's total into this one (addition)."""
+        self.value += other.value
+
     def snapshot(self):
         return self.value
 
@@ -72,6 +76,11 @@ class Gauge:
 
     def set(self, value) -> None:
         self.value = value
+
+    def merge(self, other: "Gauge") -> None:
+        """Last-write-wins: the merged-in gauge overwrites, unless unset."""
+        if other.value is not None:
+            self.value = other.value
 
     def snapshot(self):
         return self.value
@@ -117,6 +126,17 @@ class Histogram:
         key = _bucket(value)
         self.buckets[key] = self.buckets.get(key, 0) + 1
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in: counts and buckets add, min/max combine."""
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for key, count in other.buckets.items():
+            self.buckets[key] = self.buckets.get(key, 0) + count
+
     @property
     def avg(self) -> Optional[float]:
         return self.sum / self.count if self.count else None
@@ -139,9 +159,15 @@ class NullCounter(Counter):
     def inc(self, amount: int = 1) -> None:  # noqa: D102 - intentional no-op
         pass
 
+    def merge(self, other: "Counter") -> None:
+        pass
+
 
 class NullGauge(Gauge):
     def set(self, value) -> None:
+        pass
+
+    def merge(self, other: "Gauge") -> None:
         pass
 
 
@@ -149,13 +175,32 @@ class NullHistogram(Histogram):
     def observe(self, value) -> None:
         pass
 
+    def merge(self, other: "Histogram") -> None:
+        pass
+
+
+#: kind tag -> metric class, for :meth:`MetricsRegistry.merge`.
+_KIND_FACTORIES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
 
 class MetricsRegistry:
-    """The tagged metric store; one per process is plenty."""
+    """The tagged metric store; one per process is plenty.
+
+    Registries are picklable (the lock is dropped and recreated) and
+    mergeable, so per-shard worker registries can be shipped back to the
+    parent process and folded into its registry with :meth:`merge`.
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
         self._metrics: Dict[Tuple[str, str, Tuple], object] = {}
+
+    def __getstate__(self):
+        return {"metrics": self._metrics}
+
+    def __setstate__(self, state):
+        self._lock = threading.Lock()
+        self._metrics = state["metrics"]
 
     def _get(self, kind: str, factory, name: str, tags: Dict[str, str]):
         key = (kind, name, tuple(sorted(tags.items())))
@@ -164,6 +209,20 @@ class MetricsRegistry:
             with self._lock:
                 metric = self._metrics.setdefault(key, factory(name, key[2]))
         return metric
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s metrics into this registry.
+
+        Counters add, gauges take the merged-in value (last write wins),
+        histograms add counts and buckets and combine min/max.  Merging is
+        associative, so per-shard registries can be folded in any grouping
+        and yield the same totals.
+        """
+        for (kind, name, tags), metric in sorted(
+            other._metrics.items(), key=lambda kv: (kv[0][0], kv[0][1], str(kv[0][2]))
+        ):
+            mine = self._get(kind, _KIND_FACTORIES[kind], name, dict(tags))
+            mine.merge(metric)
 
     def counter(self, name: str, **tags: str) -> Counter:
         return self._get("counter", Counter, name, tags)
@@ -218,6 +277,9 @@ class NullRegistry(MetricsRegistry):
     def histogram(self, name: str, **tags: str) -> Histogram:
         return self._histogram
 
+    def merge(self, other: MetricsRegistry) -> None:
+        pass
+
 
 #: The module-level no-op singleton (the telemetry-off fast path).
 NULL_REGISTRY = NullRegistry()
@@ -255,6 +317,19 @@ def registry() -> MetricsRegistry:
 def reset() -> None:
     """Drop all recorded metrics (the enabled flag is left untouched)."""
     _REGISTRY.reset()
+
+
+def swap_registry() -> MetricsRegistry:
+    """Detach and return the live registry, installing a fresh empty one.
+
+    Used by parallel-evaluation workers to hand a shard's metrics to the
+    parent exactly once: the detached registry stays intact for pickling
+    while subsequent instrumentation lands in the replacement.
+    """
+    global _REGISTRY
+    detached = _REGISTRY
+    _REGISTRY = MetricsRegistry()
+    return detached
 
 
 if env_enabled():  # pragma: no cover - exercised via subprocess in the CLI

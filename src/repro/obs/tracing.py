@@ -88,6 +88,16 @@ def clear_spans() -> None:
     _spans.clear()
 
 
+def extend_spans(records: List[SpanRecord]) -> None:
+    """Append already-completed span records (e.g. shipped from a worker).
+
+    The parallel evaluation engine uses this to fold each shard worker's
+    span log into the parent process's log, so a profile over a parallel
+    run still sees every phase.
+    """
+    _spans.extend(records)
+
+
 # ---------------------------------------------------------------------------
 # packet traces
 # ---------------------------------------------------------------------------
@@ -154,6 +164,20 @@ class TraceCapture:
         trace = PacketTrace(scheme=scheme_name, source=source, target=target)
         self.traces.append(trace)
         return trace
+
+    def merge(self, other: "TraceCapture") -> None:
+        """Fold another capture's traces in, respecting this capture's limit.
+
+        Traces beyond the limit count as dropped, as do any the other
+        capture already dropped — merging shard captures in shard order is
+        therefore equivalent to one serial capture over the same pairs.
+        """
+        for trace in other.traces:
+            if self.limit is not None and len(self.traces) >= self.limit:
+                self.dropped += 1
+            else:
+                self.traces.append(trace)
+        self.dropped += other.dropped
 
 
 _capture: Optional[TraceCapture] = None

@@ -59,22 +59,25 @@ class PathTree:
 class _HeapEntry:
     """Adapter giving heapq a strict order over algebra weights.
 
-    Ties in ⪯ break on the insertion counter, keeping the pop order
-    deterministic.
+    The algebra's memoized ``comparison_key`` is applied once per push, so
+    every heap sift compares precomputed key objects (one ``cmp`` call, at
+    most two ``leq`` evaluations) instead of re-deriving the order from the
+    raw weights.  Ties in ⪯ break on the insertion counter, keeping the pop
+    order deterministic.
     """
 
-    __slots__ = ("weight", "counter", "node", "algebra")
+    __slots__ = ("key", "counter", "node", "weight")
 
-    def __init__(self, algebra, weight, counter, node):
-        self.algebra = algebra
+    def __init__(self, key, weight, counter, node):
+        self.key = key
         self.weight = weight
         self.counter = counter
         self.node = node
 
     def __lt__(self, other):
-        if self.algebra.lt(self.weight, other.weight):
+        if self.key < other.key:
             return True
-        if self.algebra.lt(other.weight, self.weight):
+        if other.key < self.key:
             return False
         return self.counter < other.counter
 
@@ -107,6 +110,7 @@ def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT
     settled = set()
     counter = itertools.count()
     heap = []
+    keyfn = algebra.comparison_key()
 
     # Seed with the root's incident edges: the empty path has no weight
     # (semigroups lack an identity), so distances start at one edge.
@@ -118,7 +122,7 @@ def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT
         if v not in weight or algebra.lt(w, weight[v]):
             weight[v] = w
             parent[v] = root
-            heapq.heappush(heap, _HeapEntry(algebra, w, next(counter), v))
+            heapq.heappush(heap, _HeapEntry(keyfn(w), w, next(counter), v))
 
     while heap:
         entry = heapq.heappop(heap)
@@ -138,7 +142,8 @@ def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT
             if v not in weight or algebra.lt(candidate, weight[v]):
                 weight[v] = candidate
                 parent[v] = u
-                heapq.heappush(heap, _HeapEntry(algebra, candidate, next(counter), v))
+                heapq.heappush(
+                    heap, _HeapEntry(keyfn(candidate), candidate, next(counter), v))
 
     return PathTree(root, weight, parent)
 

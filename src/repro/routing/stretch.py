@@ -64,6 +64,27 @@ class StretchReport:
         """True iff every measured pair met the Theorem 3 stretch-3 bound."""
         return self.within_3 == self.pairs
 
+    def merge(self, other: "StretchReport") -> "StretchReport":
+        """Combine two reports over disjoint pair sets (associative).
+
+        Counts add and the max combines, so per-shard stretch reports fold
+        into exactly the report a single pass over all pairs would produce.
+        """
+        if other.max_stretch is None:
+            max_stretch = self.max_stretch
+        elif self.max_stretch is None:
+            max_stretch = other.max_stretch
+        else:
+            max_stretch = max(self.max_stretch, other.max_stretch)
+        return StretchReport(
+            scheme_name=self.scheme_name,
+            pairs=self.pairs + other.pairs,
+            within_1=self.within_1 + other.within_1,
+            within_3=self.within_3 + other.within_3,
+            unbounded=self.unbounded + other.unbounded,
+            max_stretch=max_stretch,
+        )
+
     def summary(self) -> str:
         return (
             f"{self.scheme_name}: {self.pairs} pairs, optimal on {self.within_1}, "

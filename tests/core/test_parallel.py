@@ -1,0 +1,115 @@
+"""Sharded parallel evaluation: shard math, merge exactness, fallbacks."""
+
+import random
+
+import pytest
+
+from repro.algebra.bgp import valley_free_algebra
+from repro.algebra.catalog import ShortestPath
+from repro.core.compiler import build_scheme
+from repro.core.parallel import SHARDS_PER_WORKER, evaluate_sharded, shard_pairs
+from repro.core.simulate import (
+    EvaluationOptions,
+    evaluate_scheme,
+    route_shard,
+    preferred_weight_oracle,
+    sample_pairs,
+)
+from repro.graphs.bgp_topologies import coned_as_topology
+from repro.graphs.generators import barabasi_albert, erdos_renyi
+from repro.graphs.weighting import assign_random_weights
+
+
+def _golden_instances():
+    """Three (graph, algebra, scheme) triples spanning the scheme catalog."""
+    instances = []
+
+    algebra = ShortestPath()
+    graph = erdos_renyi(24, rng=random.Random(1))
+    assign_random_weights(graph, algebra, rng=random.Random(2))
+    instances.append(("destination-table", graph, algebra,
+                      build_scheme(graph, algebra)))
+
+    algebra = ShortestPath()
+    graph = barabasi_albert(28, m=2, rng=random.Random(3))
+    assign_random_weights(graph, algebra, rng=random.Random(4))
+    instances.append(("cowen", graph, algebra,
+                      build_scheme(graph, algebra, mode="compact",
+                                   rng=random.Random(5))))
+
+    algebra = valley_free_algebra()
+    graph = coned_as_topology(2, 3, 5, rng=random.Random(6))
+    instances.append(("bgp", graph, algebra, build_scheme(graph, algebra)))
+
+    return instances
+
+
+class TestShardPairs:
+    def test_contiguous_and_complete(self):
+        pairs = [(i, i + 1) for i in range(10)]
+        shards = shard_pairs(pairs, workers=3, shard_size=4)
+        assert [len(s) for s in shards] == [4, 4, 2]
+        assert [p for shard in shards for p in shard] == pairs
+
+    def test_default_size_balances_over_workers(self):
+        pairs = [(i, 0) for i in range(100)]
+        shards = shard_pairs(pairs, workers=4)
+        # Roughly SHARDS_PER_WORKER shards per worker (ceil rounding may
+        # produce slightly fewer), so every worker has several tasks.
+        assert 4 < len(shards) <= 4 * SHARDS_PER_WORKER
+        assert [p for shard in shards for p in shard] == pairs
+
+    def test_empty(self):
+        assert shard_pairs([], workers=4) == []
+
+    def test_single_shard_when_fewer_pairs_than_size(self):
+        assert shard_pairs([(0, 1)], workers=4, shard_size=10) == [[(0, 1)]]
+
+
+class TestShardMergeEquivalence:
+    """workers=2,4 reports must be bit-identical to serial on every golden."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("index", [0, 1, 2])
+    def test_identical_reports(self, index, workers):
+        name, graph, algebra, scheme = _golden_instances()[index]
+        serial = evaluate_scheme(graph, algebra, scheme)
+        parallel = evaluate_scheme(
+            graph, algebra, scheme, options=EvaluationOptions(workers=workers))
+        assert parallel == serial, name
+        assert parallel.stretch == serial.stretch
+        assert parallel.memory == serial.memory
+        assert parallel.failures == serial.failures
+
+    def test_failures_merge_in_shard_order(self):
+        algebra = ShortestPath()
+        graph = erdos_renyi(16, rng=random.Random(7))
+        assign_random_weights(graph, algebra, rng=random.Random(8))
+        scheme = build_scheme(graph, algebra)
+        scheme._next_hop[3] = {}  # sabotage one node's table
+        serial = evaluate_scheme(graph, algebra, scheme)
+        parallel = evaluate_scheme(
+            graph, algebra, scheme,
+            options=EvaluationOptions(workers=2, shard_size=20))
+        assert serial.failures  # the sabotage is visible
+        assert parallel.failures == serial.failures
+
+    def test_explicit_shard_size_respected(self):
+        _, graph, algebra, scheme = _golden_instances()[0]
+        serial = evaluate_scheme(graph, algebra, scheme)
+        parallel = evaluate_scheme(
+            graph, algebra, scheme,
+            options=EvaluationOptions(workers=2, shard_size=7))
+        assert parallel == serial
+
+
+class TestEvaluateShardedDirect:
+    def test_single_shard_short_circuits_serially(self):
+        _, graph, algebra, scheme = _golden_instances()[0]
+        oracle = preferred_weight_oracle(graph, algebra)
+        pairs = sample_pairs(graph)[:5]
+        merged = evaluate_sharded(graph, algebra, scheme, oracle, pairs,
+                                  workers=4, shard_size=100)
+        direct = route_shard(algebra, scheme, oracle, pairs)
+        assert merged.routed == direct.routed
+        assert merged.stretch == direct.stretch

@@ -9,6 +9,7 @@ from repro.algebra.lexicographic import shortest_widest_path
 from repro.algebra.bgp import valley_free_algebra
 from repro.core.compiler import build_scheme
 from repro.core.simulate import (
+    EvaluationOptions,
     evaluate_scheme,
     preferred_weight_oracle,
     sample_pairs,
@@ -91,7 +92,9 @@ class TestEvaluateScheme:
         graph = ring(8)
         assign_random_weights(graph, algebra, rng=random.Random(10))
         scheme = build_scheme(graph, algebra)
-        report = evaluate_scheme(graph, algebra, scheme, pairs=[(0, 4), (2, 6)])
+        report = evaluate_scheme(
+            graph, algebra, scheme,
+            options=EvaluationOptions(pairs=[(0, 4), (2, 6)]))
         assert report.pairs == 2
 
     def test_failures_surface(self):

@@ -83,13 +83,14 @@ class TestStubPairs:
     def test_evaluation_with_stub_workload(self):
         from repro.algebra.bgp import valley_free_algebra
         from repro.core.compiler import build_scheme
-        from repro.core.simulate import evaluate_scheme
+        from repro.core.simulate import EvaluationOptions, evaluate_scheme
 
         graph = coned_as_topology(2, 2, 4, rng=random.Random(10))
         algebra = valley_free_algebra()
         scheme = build_scheme(graph, algebra)
         pairs = stub_pairs(graph, 12, rng=random.Random(11))
-        report = evaluate_scheme(graph, algebra, scheme, pairs=pairs)
+        report = evaluate_scheme(graph, algebra, scheme,
+                                 options=EvaluationOptions(pairs=pairs))
         assert report.all_delivered
 
 

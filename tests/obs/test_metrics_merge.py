@@ -1,0 +1,138 @@
+"""Merge semantics of metrics: the algebra behind shard-result folding."""
+
+import pickle
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    reset,
+    swap_registry,
+)
+
+
+class TestCounterMerge:
+    def test_values_add(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_merge_of_zero_is_identity(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(5)
+        a.merge(b)
+        assert a.value == 5
+
+
+class TestGaugeMerge:
+    def test_last_write_wins(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1)
+        b.set(2)
+        a.merge(b)
+        assert a.value == 2
+
+    def test_unset_other_keeps_value(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1)
+        a.merge(b)
+        assert a.value == 1
+
+
+class TestHistogramMerge:
+    def test_buckets_add(self):
+        a, b = Histogram("h"), Histogram("h")
+        for v in (1, 2, 2):
+            a.observe(v)
+        for v in (2, 3):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.sum == 10
+        assert a.buckets == {1: 1, 2: 3, 3: 1}
+
+    def test_min_max_combine(self):
+        a, b = Histogram("h"), Histogram("h")
+        a.observe(5)
+        b.observe(1)
+        b.observe(9)
+        a.merge(b)
+        assert (a.min, a.max) == (1, 9)
+
+    def test_merge_into_empty(self):
+        a, b = Histogram("h"), Histogram("h")
+        b.observe(2.5)
+        a.merge(b)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestRegistryMerge:
+    def test_merges_by_kind_name_and_tags(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("pairs", scheme="cowen").inc(10)
+        worker.counter("pairs", scheme="cowen").inc(5)
+        worker.counter("pairs", scheme="tree").inc(2)
+        worker.gauge("phase").set("route")
+        worker.histogram("hops").observe(3)
+
+        parent.merge(worker)
+
+        assert parent.counter("pairs", scheme="cowen").value == 15
+        assert parent.counter("pairs", scheme="tree").value == 2
+        assert parent.gauge("phase").value == "route"
+        assert parent.histogram("hops").count == 1
+
+    def test_merge_is_associative(self):
+        shards = []
+        for inc in (1, 2, 4):
+            r = MetricsRegistry()
+            r.counter("n").inc(inc)
+            r.histogram("h").observe(inc)
+            shards.append(r)
+
+        left = MetricsRegistry()
+        for r in shards:
+            left.merge(r)
+        right = MetricsRegistry()
+        shards[1].merge(shards[2])
+        right.merge(shards[0])
+        right.merge(shards[1])
+
+        assert left.snapshot() == right.snapshot()
+
+    def test_same_name_different_kind_kept_apart(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("x").inc()
+        worker.histogram("x").observe(1)
+        parent.merge(worker)
+        assert parent.counter("x").value == 1
+        assert parent.histogram("x").count == 1
+
+
+class TestRegistryPickling:
+    def test_round_trip_preserves_values(self):
+        r = MetricsRegistry()
+        r.counter("pairs", scheme="cowen").inc(7)
+        r.histogram("hops").observe(4)
+        clone = pickle.loads(pickle.dumps(r))
+        assert clone.snapshot() == r.snapshot()
+        # the recreated lock still works
+        clone.counter("pairs", scheme="cowen").inc()
+        assert clone.counter("pairs", scheme="cowen").value == 8
+
+
+class TestSwapRegistry:
+    def test_detaches_live_registry(self):
+        reset()
+        live = registry()
+        live.counter("shard").inc(3)
+        detached = swap_registry()
+        assert detached is live
+        assert detached.counter("shard").value == 3
+        fresh = registry()
+        assert fresh is not detached
+        assert len(fresh) == 0

@@ -11,7 +11,7 @@ import random
 
 from repro.algebra import ShortestPath, WidestPath
 from repro.cli import main
-from repro.core import build_scheme, evaluate_scheme
+from repro.core import EvaluationOptions, build_scheme, evaluate_scheme
 from repro.graphs import assign_random_weights, erdos_renyi
 from repro.obs import tracing as obs_tracing
 from repro.obs.metrics import enable, registry
@@ -94,7 +94,8 @@ class TestEvaluateScheme:
         graph, algebra = _instance(n=16)
         scheme = build_scheme(graph, algebra, rng=random.Random(2))
         enable()
-        report = evaluate_scheme(graph, algebra, scheme, trace_limit=3)
+        report = evaluate_scheme(graph, algebra, scheme,
+                                 options=EvaluationOptions(trace_limit=3))
         assert len(report.traces) == 3
 
     def test_callers_capture_wins(self):
