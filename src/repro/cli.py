@@ -17,6 +17,10 @@ Commands:
 * ``scale <policy>`` — measure per-node table bits over growing n and fit
   the scaling class (the Table 1 experiment for one policy);
 * ``table1`` — the full six-row Table 1 reproduction;
+* ``golden record|check`` — the packet-trace regression harness: record
+  the pinned golden suite to ``tests/golden/*.jsonl``, or replay it and
+  fail with a first-divergence report when any routing decision (or the
+  fixture serialization itself) changed;
 * ``policies`` — list the catalog.
 
 Examples::
@@ -137,7 +141,14 @@ def cmd_classify(args) -> int:
 
 
 def _print_trace(trace) -> None:
-    state = "delivered" if trace.delivered else f"FAILED ({trace.reason})"
+    # delivered is None while finish() has not run — e.g. the local
+    # routing function raised mid-route; that is *unfinished*, not FAILED.
+    if trace.delivered is None:
+        state = "UNFINISHED (no verdict recorded)"
+    elif trace.delivered:
+        state = "delivered"
+    else:
+        state = f"FAILED ({trace.reason})"
     print(f"trace {trace.source!r} -> {trace.target!r}: "
           f"{trace.hops} hops, {state}")
     for event in trace.events:
@@ -185,6 +196,9 @@ def cmd_route(args) -> int:
         if args.trace:
             for trace in report.traces:
                 _print_trace(trace)
+            if report.traces_dropped:
+                print(f"({report.traces_dropped} further traced route(s) "
+                      f"dropped at the capture limit of {args.trace_limit})")
         if report.failures:
             print(f"failures (first {len(report.failures)}): {report.failures}")
     return 1 if report.failures else 0
@@ -302,6 +316,46 @@ def cmd_scale(args) -> int:
     return 0
 
 
+def _golden_cases(args):
+    from repro.regress import GOLDEN_CASES, case_by_name
+
+    if not args.case:
+        return list(GOLDEN_CASES)
+    try:
+        return [case_by_name(name) for name in args.case]
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+
+def cmd_golden_record(args) -> int:
+    from repro.regress import record_all
+
+    paths = record_all(args.dir, cases=_golden_cases(args))
+    for name, path in paths.items():
+        with open(path) as handle:
+            traces = sum(1 for line in handle) - 1  # minus the meta line
+        print(f"recorded {name}: {traces} traces -> {path}")
+    return 0
+
+
+def cmd_golden_check(args) -> int:
+    from repro.regress import check_all
+
+    results = check_all(args.dir, cases=_golden_cases(args))
+    failed = [result for result in results if not result.ok]
+    for result in results:
+        print(f"{result.case}: {result.status.upper()}"
+              + (f" — {result.detail}" if result.ok else ""))
+    for result in failed:
+        print()
+        print(result.detail)
+    if failed:
+        print(f"\ngolden check FAILED for {len(failed)}/{len(results)} case(s)")
+        return 1
+    print(f"golden check passed: {len(results)} case(s)")
+    return 0
+
+
 def cmd_table1(args) -> int:
     from repro.core.table1 import format_table1, reproduce_table1
 
@@ -390,6 +444,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_table1.add_argument("--sizes", default="32,64,128")
     p_table1.add_argument("--seed", type=int, default=0)
     p_table1.set_defaults(func=cmd_table1)
+
+    p_golden = sub.add_parser(
+        "golden", help="golden packet-trace regression fixtures"
+    )
+    golden_sub = p_golden.add_subparsers(dest="golden_command", required=True)
+    for name, func, help_text in (
+        ("record", cmd_golden_record,
+         "re-record the golden suite's trace fixtures"),
+        ("check", cmd_golden_check,
+         "replay the suite and diff hop-for-hop against the fixtures"),
+    ):
+        p_sub = golden_sub.add_parser(name, help=help_text)
+        p_sub.add_argument("--dir", default="tests/golden",
+                           help="fixture directory (default: tests/golden)")
+        p_sub.add_argument("--case", action="append", default=[],
+                           help="restrict to this case (repeatable)")
+        p_sub.set_defaults(func=func)
     return parser
 
 

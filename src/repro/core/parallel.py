@@ -131,7 +131,11 @@ def _run_shard(shard: List[Tuple]) -> ShardResult:
 
 def _merge_worker_telemetry(results: List[ShardResult], trace_limit: int
                             ) -> Tuple:
-    """Fold worker registries/spans into this process; return merged traces."""
+    """Fold worker registries/spans into this process.
+
+    Returns ``(merged_traces, dropped)`` — the traces the report should
+    carry and how many worker traces fell past the parent-side limit.
+    """
     live = _live_registry()
     for result in results:
         if result.registry is not None:
@@ -157,9 +161,11 @@ def _merge_worker_telemetry(results: List[ShardResult], trace_limit: int
                 dropped += 1
     if active is not None:
         # Matches serial semantics: with a caller capture active, traces
-        # land in that capture and the report carries none of its own.
-        return ()
-    return tuple(merged_traces)
+        # land in that capture (worker-side drops included in its count)
+        # and the report carries none of its own.
+        active.dropped += sum(result.traces_dropped for result in results)
+        return (), 0
+    return tuple(merged_traces), dropped
 
 
 def _serial_fallback(algebra, scheme, oracle, pairs, max_k, trace_limit,
@@ -225,12 +231,22 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
     # Fold worker telemetry before merging counts: ShardResult.merge
     # concatenates traces, which would double-count them afterwards.
     merged_traces: Tuple = ()
+    parent_dropped = 0
+    caller_capture = _tracing.active_capture() is not None
     if telemetry:
-        merged_traces = _merge_worker_telemetry(results, trace_limit)
+        merged_traces, parent_dropped = _merge_worker_telemetry(results,
+                                                                trace_limit)
     merged = results[0]
     for result in results[1:]:
         merged.merge(result)
     merged.traces = merged_traces
+    # merged.traces_dropped now sums the workers' own capture drops; add
+    # traces lost folding worker captures down to the parent limit.  With
+    # a caller capture active the report carries no traces (that capture
+    # tracks its own drops), matching the serial path.
+    merged.traces_dropped = (
+        0 if caller_capture else merged.traces_dropped + parent_dropped
+    )
     merged.registry = None
     merged.spans = None
     return merged

@@ -262,6 +262,8 @@ class EvaluationReport:
     failures: Tuple
     #: Hop-level packet traces, populated only when telemetry is enabled.
     traces: Tuple = field(default=(), compare=False)
+    #: Routed pairs whose traces the capture dropped at its limit.
+    traces_dropped: int = field(default=0, compare=False)
 
     @property
     def all_delivered(self) -> bool:
@@ -324,6 +326,7 @@ class ShardResult:
     stretch: StretchReport
     failures: List[Tuple]
     traces: Tuple = ()
+    traces_dropped: int = 0
     registry: Optional[object] = None
     spans: Optional[List] = None
 
@@ -334,6 +337,7 @@ class ShardResult:
         self.stretch = self.stretch.merge(other.stretch)
         self.failures.extend(other.failures)
         self.traces = self.traces + other.traces
+        self.traces_dropped += other.traces_dropped
 
 
 def route_shard(algebra: RoutingAlgebra, scheme: RoutingScheme,
@@ -388,12 +392,15 @@ def route_shard(algebra: RoutingAlgebra, scheme: RoutingScheme,
             samples.append((preferred, realized))
             if algebra.eq(realized, preferred):
                 optimal += 1
+        traces_dropped = 0
         if capture is not None:
             traces = tuple(capture.traces)
+            traces_dropped = capture.dropped
     stretch = measure_stretch(algebra, samples, scheme_name=scheme.name, max_k=max_k)
     return ShardResult(
         routed=routed, delivered=delivered, optimal=optimal,
         stretch=stretch, failures=failures, traces=traces,
+        traces_dropped=traces_dropped,
     )
 
 
@@ -413,6 +420,7 @@ def finalize_report(scheme: RoutingScheme, merged: ShardResult) -> EvaluationRep
         memory=memory_report(scheme),
         failures=tuple(merged.failures[:MAX_REPORTED_FAILURES]),
         traces=merged.traces,
+        traces_dropped=merged.traces_dropped,
     )
 
 

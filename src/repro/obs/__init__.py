@@ -19,10 +19,17 @@ See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
 
 from repro.obs import export
 from repro.obs.export import (
+    CodecError,
+    OpaqueValue,
+    decode_value,
+    encode_value,
+    hop_event_from_dict,
+    hop_event_to_dict,
     report_to_dict,
     span_to_dict,
     telemetry_snapshot,
     to_json,
+    trace_from_dict,
     trace_to_dict,
     write_benchmark_summary,
     write_json,
@@ -83,10 +90,17 @@ __all__ = [
     "span",
     "spans",
     "export",
+    "CodecError",
+    "OpaqueValue",
+    "decode_value",
+    "encode_value",
+    "hop_event_from_dict",
+    "hop_event_to_dict",
     "report_to_dict",
     "span_to_dict",
     "telemetry_snapshot",
     "to_json",
+    "trace_from_dict",
     "trace_to_dict",
     "write_benchmark_summary",
     "write_json",

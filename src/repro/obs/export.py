@@ -1,16 +1,31 @@
 """Machine-readable export of telemetry: JSON / JSONL writers.
 
 Everything the registry, span log and trace captures hold is plain data;
-this module flattens it into JSON-ready dicts and writes it out.  Node
-identifiers and headers may be arbitrary hashable objects (tuples, enum
-weights, ...), so serialization falls back to ``str`` rather than
-restricting what schemes may use as labels.
+this module flattens it into JSON-ready dicts and writes it out.
+
+Node identifiers, headers and weights may be arbitrary hashable objects
+(tuples, ``Fraction`` weights, the ``PHI`` sentinel, ...).  Two encodings
+coexist:
+
+* :func:`encode_value` / :func:`decode_value` — the **typed, lossless**
+  codec.  Scalars that JSON represents unambiguously (``None``, bools,
+  ints, finite floats, strings) pass through; everything else becomes a
+  tagged object (``{"$": "tuple", "v": [...]}``) that decodes back to an
+  equal value of the identical type.  This is what trace dicts and the
+  golden-fixture codec (:mod:`repro.regress`) use, so node ``2`` and node
+  ``"2"`` — or a tuple node and its ``repr`` — can never collide.
+* the legacy ``default=str`` fallback of :func:`to_json` /
+  :func:`write_jsonl`, kept for human-facing snapshots (metrics, spans)
+  where a readable string beats a tagged structure.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
+from dataclasses import dataclass
+from fractions import Fraction
 from typing import Dict, Iterable, List, Optional
 
 from repro.obs import metrics as _metrics
@@ -20,6 +35,127 @@ from repro.obs import tracing as _tracing
 def _jsonable(obj):
     """JSON fallback: stringify anything json doesn't natively handle."""
     return str(obj)
+
+
+# ---------------------------------------------------------------------------
+# the typed, lossless value codec
+# ---------------------------------------------------------------------------
+
+#: Key marking a tagged (non-passthrough) encoded value.  Plain dicts are
+#: themselves encoded as tagged objects, so this key can never collide
+#: with user data in an encoded document.
+TAG_KEY = "$"
+
+
+class CodecError(ValueError):
+    """A value cannot be losslessly encoded (strict mode only)."""
+
+
+@dataclass(frozen=True)
+class OpaqueValue:
+    """Decoded stand-in for a value the codec could only ``repr``.
+
+    Produced when decoding a non-strict ``repr`` tag.  Two opaque values
+    compare equal iff their type names and reprs match, so diffing decoded
+    traces remains meaningful even for types outside the codec's domain.
+    """
+
+    type_name: str
+    text: str
+
+    def __repr__(self):
+        return f"OpaqueValue({self.type_name}: {self.text})"
+
+
+def _is_phi(value) -> bool:
+    from repro.algebra.base import is_phi
+
+    return is_phi(value)
+
+
+def encode_value(value, strict: bool = False):
+    """Encode *value* into a JSON-representable, losslessly typed form.
+
+    ``None``/``bool``/``int``/finite ``float``/``str`` pass through
+    unchanged (JSON already distinguishes them); tuples, lists, dicts,
+    sets, frozensets, ``Fraction`` and the ``PHI`` sentinel become tagged
+    objects.  Anything else raises :class:`CodecError` when *strict*,
+    otherwise encodes as a ``repr`` tag that decodes to
+    :class:`OpaqueValue`.
+    """
+    if value is None or isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return value
+        return {TAG_KEY: "float", "v": repr(value)}
+    if isinstance(value, str):
+        return value
+    if isinstance(value, tuple):
+        return {TAG_KEY: "tuple", "v": [encode_value(item, strict) for item in value]}
+    if isinstance(value, list):
+        return {TAG_KEY: "list", "v": [encode_value(item, strict) for item in value]}
+    if isinstance(value, dict):
+        items = [[encode_value(k, strict), encode_value(v, strict)]
+                 for k, v in value.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return {TAG_KEY: "dict", "v": items}
+    if isinstance(value, (set, frozenset)):
+        tag = "frozenset" if isinstance(value, frozenset) else "set"
+        items = [encode_value(item, strict) for item in value]
+        items.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        return {TAG_KEY: tag, "v": items}
+    if isinstance(value, Fraction):
+        return {TAG_KEY: "fraction", "v": [value.numerator, value.denominator]}
+    if _is_phi(value):
+        return {TAG_KEY: "phi"}
+    if strict:
+        raise CodecError(
+            f"cannot losslessly encode {type(value).__qualname__}: {value!r}"
+        )
+    return {
+        TAG_KEY: "repr",
+        "type": f"{type(value).__module__}.{type(value).__qualname__}",
+        "v": repr(value),
+    }
+
+
+def decode_value(encoded):
+    """Invert :func:`encode_value`; tagged ``repr`` values decode to
+    :class:`OpaqueValue`."""
+    if isinstance(encoded, (type(None), bool, int, float, str)):
+        return encoded
+    if isinstance(encoded, list):
+        # Never produced by encode_value at top level, but tolerate plain
+        # JSON arrays (e.g. hand-written fixtures) as tuples of values.
+        return tuple(decode_value(item) for item in encoded)
+    if not isinstance(encoded, dict) or TAG_KEY not in encoded:
+        raise CodecError(f"malformed encoded value: {encoded!r}")
+    tag = encoded[TAG_KEY]
+    if tag == "tuple":
+        return tuple(decode_value(item) for item in encoded["v"])
+    if tag == "list":
+        return [decode_value(item) for item in encoded["v"]]
+    if tag == "dict":
+        return {decode_value(k): decode_value(v) for k, v in encoded["v"]}
+    if tag == "set":
+        return set(decode_value(item) for item in encoded["v"])
+    if tag == "frozenset":
+        return frozenset(decode_value(item) for item in encoded["v"])
+    if tag == "fraction":
+        numerator, denominator = encoded["v"]
+        return Fraction(numerator, denominator)
+    if tag == "float":
+        return float(encoded["v"])
+    if tag == "phi":
+        from repro.algebra.base import PHI
+
+        return PHI
+    if tag == "repr":
+        return OpaqueValue(type_name=encoded["type"], text=encoded["v"])
+    raise CodecError(f"unknown codec tag {tag!r} in {encoded!r}")
 
 
 def to_json(payload, indent: int = 2) -> str:
@@ -60,28 +196,60 @@ def span_to_dict(record: _tracing.SpanRecord) -> Dict:
     return out
 
 
-def hop_event_to_dict(event: _tracing.HopEvent) -> Dict:
+def hop_event_to_dict(event: _tracing.HopEvent, strict: bool = False) -> Dict:
+    """Typed dict view of a hop event.
+
+    Node ids and headers go through :func:`encode_value`, so exported
+    traces keep node ``2`` distinct from ``"2"`` and tuple headers
+    distinct from their ``repr``.
+    """
     return {
         "index": event.index,
-        "node": event.node,
+        "node": encode_value(event.node, strict),
         "action": event.action,
         "port": event.port,
-        "next_node": event.next_node,
-        "header": event.header,
+        "next_node": encode_value(event.next_node, strict),
+        "header": encode_value(event.header, strict),
         "header_bits": event.header_bits,
     }
 
 
-def trace_to_dict(trace: _tracing.PacketTrace) -> Dict:
+def hop_event_from_dict(record: Dict) -> _tracing.HopEvent:
+    """Invert :func:`hop_event_to_dict`."""
+    return _tracing.HopEvent(
+        index=record["index"],
+        node=decode_value(record["node"]),
+        action=record["action"],
+        port=record["port"],
+        next_node=decode_value(record["next_node"]),
+        header=decode_value(record["header"]),
+        header_bits=record["header_bits"],
+    )
+
+
+def trace_to_dict(trace: _tracing.PacketTrace, strict: bool = False) -> Dict:
     return {
         "scheme": trace.scheme,
-        "source": trace.source,
-        "target": trace.target,
+        "source": encode_value(trace.source, strict),
+        "target": encode_value(trace.target, strict),
         "delivered": trace.delivered,
         "reason": trace.reason,
         "hops": trace.hops,
-        "events": [hop_event_to_dict(event) for event in trace.events],
+        "events": [hop_event_to_dict(event, strict) for event in trace.events],
     }
+
+
+def trace_from_dict(record: Dict) -> _tracing.PacketTrace:
+    """Invert :func:`trace_to_dict` (the ``hops`` field is derived, not read)."""
+    trace = _tracing.PacketTrace(
+        scheme=record["scheme"],
+        source=decode_value(record["source"]),
+        target=decode_value(record["target"]),
+        events=[hop_event_from_dict(event) for event in record["events"]],
+    )
+    trace.delivered = record["delivered"]
+    trace.reason = record["reason"]
+    return trace
 
 
 def report_to_dict(report) -> Dict:
@@ -112,6 +280,9 @@ def report_to_dict(report) -> Dict:
     traces = getattr(report, "traces", ())
     if traces:
         out["traces"] = [trace_to_dict(trace) for trace in traces]
+    dropped = getattr(report, "traces_dropped", 0)
+    if dropped:
+        out["traces_dropped"] = dropped
     return out
 
 

@@ -134,7 +134,16 @@ class PacketTrace:
 
     @property
     def hops(self) -> int:
-        return max(0, len(self.events) - 1)
+        """Edges traversed: one per *forward* event.
+
+        ``len(events) - 1`` would be wrong for undelivered traces — there
+        the last event is a forward (the packet moved and then the hop
+        limit hit or the next decision failed), not a deliver, so the
+        count would miss the final traversed edge.  Counting forwards
+        matches ``RouteResult.hops == len(path) - 1`` in every state:
+        delivered, failed, unfinished, and the zero/one-event self-loop.
+        """
+        return sum(1 for event in self.events if event.action == "forward")
 
     def add(self, node, action: str, port: Optional[int], next_node,
             header, header_bits: Optional[int]) -> None:

@@ -1,0 +1,66 @@
+"""Golden packet-trace regression harness.
+
+The paper's aggregate claims (delivery, stretch, memory) are computed
+from a hop-by-hop forwarding simulation; a refactor of the evaluation
+path can change individual routing decisions while leaving every
+aggregate untouched.  This package pins the simulation itself:
+
+* :mod:`repro.regress.codec` — a canonical, lossless JSONL encoding of
+  :class:`repro.obs.PacketTrace` objects (typed nodes/headers via
+  :func:`repro.obs.export.encode_value`, canonical key order, one trace
+  per line);
+* :mod:`repro.regress.suite` — the pinned golden instances (Fig. 1,
+  the Theorem 4 lower-bound family, BGP topologies, Cowen landmark and
+  tree routing on seeded random graphs), each fully determined by a
+  fixed seed;
+* :mod:`repro.regress.recorder` — records the suite's traces to
+  ``tests/golden/*.jsonl`` and checks live traces against them;
+* :mod:`repro.regress.diff` — the hop-for-hop diff engine reporting the
+  first divergence (pair, hop index, field, expected vs actual).
+
+CLI: ``python -m repro golden record`` / ``python -m repro golden
+check``; the check also fails when committed fixtures are byte-stale
+against a fresh recording on the same seed.
+"""
+
+from repro.regress.codec import (
+    FORMAT_VERSION,
+    FixtureError,
+    canonical_dumps,
+    dump_fixture,
+    load_fixture,
+    record_to_trace,
+    trace_to_record,
+)
+from repro.regress.diff import Divergence, diff_traces, format_divergence
+from repro.regress.recorder import (
+    CheckResult,
+    check_all,
+    check_case,
+    fixture_path,
+    record_all,
+    record_case,
+)
+from repro.regress.suite import GOLDEN_CASES, GoldenCase, case_by_name
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FixtureError",
+    "canonical_dumps",
+    "dump_fixture",
+    "load_fixture",
+    "record_to_trace",
+    "trace_to_record",
+    "Divergence",
+    "diff_traces",
+    "format_divergence",
+    "CheckResult",
+    "check_all",
+    "check_case",
+    "fixture_path",
+    "record_all",
+    "record_case",
+    "GOLDEN_CASES",
+    "GoldenCase",
+    "case_by_name",
+]

@@ -1,0 +1,93 @@
+"""Canonical, lossless JSONL serialization of packet traces.
+
+A golden fixture is one text file per case:
+
+* line 1 — a ``{"kind": "meta", ...}`` record pinning the case (name,
+  seed, mode, scheme, topology size, pair count, format version);
+* each further line — one ``{"kind": "trace", ...}`` record, the typed
+  dict view of a :class:`repro.obs.PacketTrace` (see
+  :func:`repro.obs.export.trace_to_dict` with ``strict=True``).
+
+Everything is written through :func:`canonical_dumps` — sorted keys,
+minimal separators, no serializer fallback — so the same traces always
+produce the identical bytes and a fixture can be compared for staleness
+with a plain string equality.  Strict encoding means recording *fails*
+rather than silently degrading to ``str()`` if a scheme ever introduces
+a node or header type outside the codec's domain.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs import tracing as _tracing
+from repro.obs.export import trace_from_dict, trace_to_dict
+
+#: Bumped whenever the fixture layout changes incompatibly; recorded in
+#: every meta line and validated on load.
+FORMAT_VERSION = 1
+
+
+class FixtureError(ValueError):
+    """A golden fixture file is malformed or from an unknown version."""
+
+
+def canonical_dumps(record: Dict) -> str:
+    """The one true JSON form of a record: sorted keys, no whitespace.
+
+    No ``default=`` fallback — every value must already be JSON-ready
+    (i.e. have gone through the typed codec), so two equal records can
+    never serialize differently.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def trace_to_record(trace: _tracing.PacketTrace) -> Dict:
+    """The fixture line for one trace (strict, lossless encoding)."""
+    record = {"kind": "trace"}
+    record.update(trace_to_dict(trace, strict=True))
+    return record
+
+
+def record_to_trace(record: Dict) -> _tracing.PacketTrace:
+    """Rebuild the :class:`PacketTrace` a fixture line encodes."""
+    if record.get("kind") != "trace":
+        raise FixtureError(f"expected a trace record, got {record.get('kind')!r}")
+    return trace_from_dict(record)
+
+
+def dump_fixture(meta: Dict, traces: Iterable[_tracing.PacketTrace]) -> str:
+    """The full fixture file contents for *meta* plus *traces*."""
+    if meta.get("kind") != "meta":
+        raise FixtureError("fixture meta record must have kind='meta'")
+    if meta.get("version") != FORMAT_VERSION:
+        raise FixtureError(
+            f"fixture meta must declare version={FORMAT_VERSION}, "
+            f"got {meta.get('version')!r}"
+        )
+    lines = [canonical_dumps(meta)]
+    lines.extend(canonical_dumps(trace_to_record(trace)) for trace in traces)
+    return "\n".join(lines) + "\n"
+
+
+def load_fixture(text: str) -> Tuple[Dict, List[_tracing.PacketTrace]]:
+    """Parse fixture file contents back into ``(meta, traces)``."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise FixtureError("empty fixture file")
+    try:
+        records = [json.loads(line) for line in lines]
+    except json.JSONDecodeError as exc:
+        raise FixtureError(f"fixture is not valid JSONL: {exc}") from None
+    meta = records[0]
+    if meta.get("kind") != "meta":
+        raise FixtureError("fixture must start with a meta record")
+    version = meta.get("version")
+    if version != FORMAT_VERSION:
+        raise FixtureError(
+            f"fixture format version {version!r} is not supported "
+            f"(expected {FORMAT_VERSION}); re-record with `repro golden record`"
+        )
+    return meta, [record_to_trace(record) for record in records[1:]]

@@ -1,0 +1,152 @@
+"""Hop-for-hop trace diffing with first-divergence reporting.
+
+Given the expected (fixture) traces and the live traces of the same
+golden case, :func:`diff_traces` walks them in routed-pair order and
+returns the **first** :class:`Divergence` — the earliest point where a
+routing decision differs.  "First" matters: a single changed tie-break
+early in one route typically cascades into hundreds of differing events,
+and the useful signal is the pair, hop index and field where the
+divergence *started*, not the flood downstream of it.
+
+Events are compared field by field in forwarding order (``node``,
+``action``, ``port``, ``next_node``, ``header``, ``header_bits``) on the
+*decoded* values, so the comparison is exact — the codec guarantees a
+fixture round-trips to objects equal to what the recorder saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.obs import tracing as _tracing
+
+#: HopEvent fields compared, in the order a forwarding engine decides them.
+EVENT_FIELDS = ("node", "action", "port", "next_node", "header", "header_bits")
+
+#: Trace-level verdict fields compared after the event log matches.
+VERDICT_FIELDS = ("delivered", "reason")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where live traces depart from the fixture."""
+
+    case: str
+    kind: str                      # "trace-count" | "pair" | "hop" |
+                                   # "event-count" | "verdict"
+    trace_index: Optional[int]     # index into the routed-pair order
+    pair: Optional[str]            # "source -> target" of the fixture trace
+    hop_index: Optional[int]       # event index within the trace
+    field: Optional[str]           # differing field name
+    expected: object
+    actual: object
+
+    def describe(self) -> str:
+        where = f"[{self.case}]"
+        if self.kind == "trace-count":
+            return (f"{where} trace count differs: fixture has "
+                    f"{self.expected}, live run produced {self.actual}")
+        prefix = f"{where} trace #{self.trace_index} ({self.pair})"
+        if self.kind == "pair":
+            return (f"{prefix}: routed pair differs — expected "
+                    f"{self.expected}, got {self.actual} (pair order changed)")
+        if self.kind == "event-count":
+            return (f"{prefix}: event count differs after hop "
+                    f"{self.hop_index}: expected {self.expected} events, "
+                    f"got {self.actual}")
+        if self.kind == "verdict":
+            return (f"{prefix}: {self.field} differs — expected "
+                    f"{self.expected!r}, got {self.actual!r}")
+        return (f"{prefix} hop {self.hop_index}: {self.field} differs — "
+                f"expected {self.expected!r}, got {self.actual!r}")
+
+
+def _pair_label(trace: _tracing.PacketTrace) -> str:
+    return f"{trace.source!r} -> {trace.target!r}"
+
+
+def diff_traces(case: str, expected: Sequence[_tracing.PacketTrace],
+                actual: Sequence[_tracing.PacketTrace]) -> Optional[Divergence]:
+    """The first divergence between two trace lists, or None when equal."""
+    for index, (exp, act) in enumerate(zip(expected, actual)):
+        if (exp.source, exp.target, exp.scheme) != (act.source, act.target,
+                                                    act.scheme):
+            return Divergence(
+                case=case, kind="pair", trace_index=index,
+                pair=_pair_label(exp), hop_index=None, field=None,
+                expected=(exp.scheme, exp.source, exp.target),
+                actual=(act.scheme, act.source, act.target),
+            )
+        for hop, (exp_event, act_event) in enumerate(zip(exp.events,
+                                                         act.events)):
+            for field in EVENT_FIELDS:
+                exp_value = getattr(exp_event, field)
+                act_value = getattr(act_event, field)
+                if exp_value != act_value or type(exp_value) is not type(act_value):
+                    return Divergence(
+                        case=case, kind="hop", trace_index=index,
+                        pair=_pair_label(exp), hop_index=hop, field=field,
+                        expected=exp_value, actual=act_value,
+                    )
+        if len(exp.events) != len(act.events):
+            return Divergence(
+                case=case, kind="event-count", trace_index=index,
+                pair=_pair_label(exp),
+                hop_index=min(len(exp.events), len(act.events)) - 1,
+                field=None,
+                expected=len(exp.events), actual=len(act.events),
+            )
+        for field in VERDICT_FIELDS:
+            exp_value = getattr(exp, field)
+            act_value = getattr(act, field)
+            if exp_value != act_value:
+                return Divergence(
+                    case=case, kind="verdict", trace_index=index,
+                    pair=_pair_label(exp), hop_index=None, field=field,
+                    expected=exp_value, actual=act_value,
+                )
+    if len(expected) != len(actual):
+        return Divergence(
+            case=case, kind="trace-count", trace_index=None, pair=None,
+            hop_index=None, field=None,
+            expected=len(expected), actual=len(actual),
+        )
+    return None
+
+
+def format_divergence(divergence: Divergence,
+                      expected: Sequence[_tracing.PacketTrace],
+                      actual: Sequence[_tracing.PacketTrace]) -> str:
+    """A readable multi-line report around the first divergence.
+
+    Shows the verdict line plus, for hop-level divergences, the expected
+    and actual event at the diverging hop and the preceding (agreeing)
+    event for orientation.
+    """
+    lines: List[str] = [divergence.describe()]
+    index = divergence.trace_index
+    if index is None or index >= len(expected) or index >= len(actual):
+        return "\n".join(lines)
+    exp, act = expected[index], actual[index]
+    if divergence.hop_index is not None:
+        hop = divergence.hop_index
+        if hop > 0 and hop - 1 < len(exp.events):
+            lines.append(f"  last agreeing hop [{hop - 1}]: "
+                         f"{_format_event(exp.events[hop - 1])}")
+        lines.append(f"  expected hop [{hop}]: "
+                     f"{_format_event(exp.events[hop]) if hop < len(exp.events) else '<absent>'}")
+        lines.append(f"  actual   hop [{hop}]: "
+                     f"{_format_event(act.events[hop]) if hop < len(act.events) else '<absent>'}")
+    lines.append(f"  expected verdict: delivered={exp.delivered!r} "
+                 f"reason={exp.reason!r} hops={exp.hops}")
+    lines.append(f"  actual   verdict: delivered={act.delivered!r} "
+                 f"reason={act.reason!r} hops={act.hops}")
+    return "\n".join(lines)
+
+
+def _format_event(event: _tracing.HopEvent) -> str:
+    if event.action == "forward":
+        return (f"{event.node!r} --port {event.port}--> "
+                f"{event.next_node!r} header={event.header!r}")
+    return f"{event.node!r} {event.action} header={event.header!r}"

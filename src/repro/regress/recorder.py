@@ -1,0 +1,132 @@
+"""Record golden traces to disk and check live traces against them.
+
+Recording routes every pinned pair of every :data:`GOLDEN_CASES` entry
+under an unlimited trace capture and serializes the result with the
+canonical codec.  Checking replays the identical recording in memory and
+compares against the committed fixture on two levels:
+
+* **hop-for-hop** — the diff engine's first divergence, the readable
+  signal that a routing decision changed;
+* **byte staleness** — the canonical re-serialization must equal the
+  committed file exactly, which additionally catches codec or metadata
+  drift that happens to leave every decision intact.
+
+A routing-function exception mid-route (``ReproError``) is recorded as
+an *unfinished* trace (``delivered is None``) rather than aborting the
+case: unreachable pairs on BGP topologies are part of the pinned
+behavior too.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.compiler import build_scheme
+from repro.exceptions import ReproError
+from repro.obs import tracing as _tracing
+from repro.regress.codec import FORMAT_VERSION, dump_fixture, load_fixture
+from repro.regress.diff import Divergence, diff_traces, format_divergence
+from repro.regress.suite import GOLDEN_CASES, GoldenCase
+
+#: Default fixture directory, relative to the repository root.
+DEFAULT_DIR = os.path.join("tests", "golden")
+
+
+def fixture_path(directory: str, case_name: str) -> str:
+    return os.path.join(directory, f"{case_name}.jsonl")
+
+
+def record_case(case: GoldenCase) -> Tuple[Dict, List[_tracing.PacketTrace]]:
+    """Build the case's scheme and route its pinned pairs under capture."""
+    graph, algebra = case.instance()
+    scheme = build_scheme(graph, algebra, mode=case.mode,
+                          rng=case.scheme_rng())
+    pairs = case.pairs(graph)
+    with _tracing.capture_traces() as capture:
+        for source, target in pairs:
+            try:
+                scheme.route(source, target)
+            except ReproError:
+                # The trace stays unfinished (delivered is None): a pinned
+                # part of the behavior, not a recording failure.
+                pass
+    meta = {
+        "kind": "meta",
+        "version": FORMAT_VERSION,
+        "case": case.name,
+        "description": case.description,
+        "seed": case.seed,
+        "mode": case.mode,
+        "scheme": scheme.name,
+        "algebra": algebra.name,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "pairs": len(pairs),
+    }
+    return meta, capture.traces
+
+
+def record_all(directory: str = DEFAULT_DIR,
+               cases: Optional[Iterable[GoldenCase]] = None) -> Dict[str, str]:
+    """Record fixtures for *cases* (default: the full suite); return paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths: Dict[str, str] = {}
+    for case in (cases if cases is not None else GOLDEN_CASES):
+        meta, traces = record_case(case)
+        path = fixture_path(directory, case.name)
+        with open(path, "w") as handle:
+            handle.write(dump_fixture(meta, traces))
+        paths[case.name] = path
+    return paths
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of checking one case against its committed fixture."""
+
+    case: str
+    status: str                 # "ok" | "missing" | "divergent" | "stale"
+    detail: str = ""
+    divergence: Optional[Divergence] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def check_case(case: GoldenCase, directory: str = DEFAULT_DIR) -> CheckResult:
+    """Replay *case* and compare against the fixture in *directory*."""
+    path = fixture_path(directory, case.name)
+    if not os.path.isfile(path):
+        return CheckResult(
+            case=case.name, status="missing",
+            detail=f"no fixture at {path}; run `repro golden record`",
+        )
+    with open(path) as handle:
+        committed = handle.read()
+    _, expected = load_fixture(committed)
+    meta, actual = record_case(case)
+    divergence = diff_traces(case.name, expected, actual)
+    if divergence is not None:
+        return CheckResult(
+            case=case.name, status="divergent",
+            detail=format_divergence(divergence, expected, actual),
+            divergence=divergence,
+        )
+    if dump_fixture(meta, actual) != committed:
+        return CheckResult(
+            case=case.name, status="stale",
+            detail=(f"fixture {path} is stale: every hop matches but the "
+                    f"canonical serialization differs (codec or metadata "
+                    f"drift); re-record with `repro golden record`"),
+        )
+    return CheckResult(case=case.name, status="ok",
+                       detail=f"{len(actual)} traces match {path}")
+
+
+def check_all(directory: str = DEFAULT_DIR,
+              cases: Optional[Iterable[GoldenCase]] = None) -> List[CheckResult]:
+    return [check_case(case, directory)
+            for case in (cases if cases is not None else GOLDEN_CASES)]

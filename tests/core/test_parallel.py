@@ -103,6 +103,31 @@ class TestShardMergeEquivalence:
         assert parallel == serial
 
 
+class TestTracesDroppedMerge:
+    def test_parallel_traces_dropped_matches_serial(self):
+        """Worker-side capture drops plus parent-side merge drops add up
+        to exactly the serial drop count."""
+        from repro.obs.metrics import disable, enable, reset
+        from repro.obs.tracing import clear_spans
+
+        _, graph, algebra, scheme = _golden_instances()[0]
+        options = EvaluationOptions(trace_limit=3)
+        enable()
+        try:
+            serial = evaluate_scheme(graph, algebra, scheme, options=options)
+            reset()
+            parallel = evaluate_scheme(
+                graph, algebra, scheme,
+                options=EvaluationOptions(trace_limit=3, workers=2))
+        finally:
+            disable()
+            reset()
+            clear_spans()
+        assert serial.traces_dropped == serial.pairs - 3
+        assert parallel.traces_dropped == serial.traces_dropped
+        assert len(parallel.traces) == len(serial.traces) == 3
+
+
 class TestEvaluateShardedDirect:
     def test_single_shard_short_circuits_serially(self):
         _, graph, algebra, scheme = _golden_instances()[0]

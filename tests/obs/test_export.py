@@ -35,6 +35,46 @@ class TestJsonWriters:
         assert lines == [{"a": 1}, {"b": 2}]
 
 
+class TestTypedTraceEncoding:
+    def trace(self):
+        # tuple node ids and tuple headers: exactly what default=str mangled
+        trace = PacketTrace(scheme="s", source=(1, 0), target="2")
+        trace.add((1, 0), "forward", 1, 2, header=(0, (3,)), header_bits=7)
+        trace.add(2, "forward", 3, "2", header=(0, (3,)), header_bits=7)
+        trace.add("2", "deliver", None, None, header=(0, (3,)), header_bits=7)
+        trace.finish(True)
+        return trace
+
+    def test_hop_event_round_trip_preserves_types(self):
+        from repro.obs.export import hop_event_from_dict, hop_event_to_dict
+
+        event = self.trace().events[0]
+        decoded = hop_event_from_dict(
+            json.loads(json.dumps(hop_event_to_dict(event))))
+        assert decoded == event
+        assert isinstance(decoded.node, tuple)
+        assert isinstance(decoded.header, tuple)
+
+    def test_trace_round_trip_distinguishes_int_from_str(self):
+        from repro.obs.export import trace_from_dict
+
+        decoded = trace_from_dict(json.loads(json.dumps(
+            trace_to_dict(self.trace()))))
+        # node 2 (int) and node "2" (str) survive as distinct values
+        assert decoded.events[1].node == 2
+        assert isinstance(decoded.events[1].node, int)
+        assert decoded.events[2].node == "2"
+        assert isinstance(decoded.events[2].node, str)
+        assert decoded.source == (1, 0)
+        assert decoded.delivered is True
+
+    def test_tuple_header_not_stringified(self):
+        out = trace_to_dict(self.trace())
+        header = out["events"][0]["header"]
+        assert header != str((0, (3,)))  # the old lossy encoding
+        assert header["$"] == "tuple"
+
+
 class TestDictViews:
     def test_trace_to_dict(self):
         trace = PacketTrace(scheme="s", source=0, target=1)

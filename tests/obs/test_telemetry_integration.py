@@ -97,6 +97,16 @@ class TestEvaluateScheme:
         report = evaluate_scheme(graph, algebra, scheme,
                                  options=EvaluationOptions(trace_limit=3))
         assert len(report.traces) == 3
+        # every routed pair beyond the limit is accounted, not silently lost
+        assert report.traces_dropped == report.pairs - 3
+
+    def test_traces_dropped_zero_without_limit_pressure(self):
+        graph, algebra = _instance(n=8)
+        scheme = build_scheme(graph, algebra, rng=random.Random(2))
+        enable()
+        report = evaluate_scheme(graph, algebra, scheme,
+                                 options=EvaluationOptions(trace_limit=10_000))
+        assert report.traces_dropped == 0
 
     def test_callers_capture_wins(self):
         """An explicit capture_traces scope collects the traces itself;

@@ -83,6 +83,26 @@ class TestPacketTrace:
         assert trace.delivered
         assert [event.index for event in trace.events] == [0, 1, 2]
 
+    def test_hops_counts_forwards_on_failed_trace(self):
+        # An undelivered trace ends on a forward, not a deliver: every
+        # event is a traversed edge and must count.
+        trace = PacketTrace(scheme="s", source=0, target=9)
+        trace.add(0, "forward", 1, 1, header=9, header_bits=None)
+        trace.add(1, "forward", 2, 2, header=9, header_bits=None)
+        trace.finish(False, "hop limit exceeded")
+        assert trace.hops == 2
+
+    def test_hops_zero_event_trace(self):
+        trace = PacketTrace(scheme="s", source=0, target=1)
+        assert trace.hops == 0
+
+    def test_hops_self_delivery(self):
+        # source == target: a single deliver event, no edges traversed.
+        trace = PacketTrace(scheme="s", source=0, target=0)
+        trace.add(0, "deliver", None, None, header=None, header_bits=None)
+        trace.finish(True)
+        assert trace.hops == 0
+
     def test_capture_limit_drops_excess(self):
         capture = TraceCapture(limit=2)
         assert capture.begin("s", 0, 1) is not None

@@ -1,0 +1,153 @@
+"""Round-trip tests for the lossless trace codec.
+
+The codec's contract: ``decode_value(json.loads(json.dumps(
+encode_value(x, strict=True))))`` returns a value equal to ``x`` *of the
+identical type* for every node/header/weight type the golden suite's
+scheme families produce — and in particular never collides node ``2``
+with ``"2"`` or a tuple with its ``repr``.
+"""
+
+import json
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.base import PHI
+from repro.obs.export import (
+    CodecError,
+    OpaqueValue,
+    decode_value,
+    encode_value,
+)
+from repro.obs.tracing import PacketTrace
+from repro.regress import (
+    GOLDEN_CASES,
+    canonical_dumps,
+    record_case,
+    record_to_trace,
+    trace_to_record,
+)
+
+
+def roundtrip(value, strict=True):
+    encoded = encode_value(value, strict)
+    wire = json.loads(json.dumps(encoded, allow_nan=False))
+    return decode_value(wire)
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -7, 2**70, 1.5, -0.25, "", "2", "PHI",
+        (), (1, 2), (1, (2, (3,))), ("a", 1, None), [1, "1", (1,)],
+        {"k": 1, 2: "v", (3, 4): [5]}, frozenset({1, 2, 3}), {"x", "y"},
+        Fraction(3, 7), PHI, (0, 5, (4, (2, 1))),
+    ])
+    def test_round_trips_exactly(self, value):
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is type(value)
+
+    def test_int_and_string_do_not_collide(self):
+        assert roundtrip(2) == 2 and isinstance(roundtrip(2), int)
+        assert roundtrip("2") == "2" and isinstance(roundtrip("2"), str)
+        assert encode_value(2) != encode_value("2")
+
+    def test_tuple_and_its_repr_do_not_collide(self):
+        node = (1, 2)
+        assert encode_value(node) != encode_value(str(node))
+        assert roundtrip(node) == (1, 2)
+        assert roundtrip(str(node)) == "(1, 2)"
+
+    def test_nonfinite_floats(self):
+        assert roundtrip(float("inf")) == float("inf")
+        assert roundtrip(float("-inf")) == float("-inf")
+        decoded = roundtrip(float("nan"))
+        assert decoded != decoded  # NaN round-trips to NaN
+
+    def test_phi_is_the_shared_sentinel(self):
+        assert roundtrip(PHI) is PHI
+
+    def test_strict_rejects_unknown_types(self):
+        class Weird:
+            pass
+
+        with pytest.raises(CodecError):
+            encode_value(Weird(), strict=True)
+
+    def test_nonstrict_falls_back_to_tagged_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        decoded = roundtrip(Weird(), strict=False)
+        assert isinstance(decoded, OpaqueValue)
+        assert decoded.text == "<weird>"
+        assert decoded == roundtrip(Weird(), strict=False)
+
+    def test_malformed_encoded_value_rejected(self):
+        with pytest.raises(CodecError):
+            decode_value({"no-tag": 1})
+        with pytest.raises(CodecError):
+            decode_value({"$": "martian", "v": 1})
+
+
+# A recursive strategy over exactly the codec's lossless domain.
+scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(),
+    st.floats(allow_nan=False), st.text(max_size=8),
+    st.fractions(), st.just(PHI),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.one_of(st.integers(), st.text(max_size=4),
+                                  st.tuples(st.integers())),
+                        children, max_size=3),
+        st.frozensets(st.one_of(st.integers(), st.text(max_size=4)),
+                      max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(values)
+def test_codec_round_trip_property(value):
+    result = roundtrip(value)
+    assert result == value
+    assert type(result) is type(value)
+
+
+class TestTraceRoundTrip:
+    @pytest.mark.parametrize("case", GOLDEN_CASES, ids=lambda c: c.name)
+    def test_every_scheme_family_round_trips(self, case):
+        """Encode -> canonical JSONL -> decode is the identity on every
+        golden instance (no ``str()`` collisions anywhere)."""
+        _, traces = record_case(case)
+        assert traces, f"case {case.name} recorded no traces"
+        for trace in traces:
+            wire = json.loads(canonical_dumps(trace_to_record(trace)))
+            decoded = record_to_trace(wire)
+            assert decoded.scheme == trace.scheme
+            assert decoded.source == trace.source
+            assert type(decoded.source) is type(trace.source)
+            assert decoded.target == trace.target
+            assert decoded.delivered == trace.delivered
+            assert decoded.reason == trace.reason
+            assert decoded.hops == trace.hops
+            assert len(decoded.events) == len(trace.events)
+            for got, want in zip(decoded.events, trace.events):
+                assert got == want
+                assert type(got.node) is type(want.node)
+                assert type(got.header) is type(want.header)
+
+    def test_canonical_dumps_is_deterministic(self):
+        trace = PacketTrace(scheme="s", source=(1, 2), target="t")
+        trace.add((1, 2), "forward", 1, "t", header=(0, ()), header_bits=3)
+        trace.finish(True)
+        assert (canonical_dumps(trace_to_record(trace))
+                == canonical_dumps(trace_to_record(trace)))

@@ -1,0 +1,111 @@
+"""Diff-engine tests: first-divergence detection and reporting."""
+
+import random
+
+import pytest
+
+from repro.core.compiler import build_scheme
+from repro.exceptions import ReproError
+from repro.obs.tracing import PacketTrace, capture_traces
+from repro.regress import case_by_name, diff_traces, format_divergence, record_case
+
+
+def make_trace(path, delivered=True, reason="", header="h"):
+    trace = PacketTrace(scheme="s", source=path[0], target=path[-1])
+    for i, (u, v) in enumerate(zip(path, path[1:])):
+        trace.add(u, "forward", i + 1, v, header=header, header_bits=None)
+    trace.add(path[-1], "deliver", None, None, header=header, header_bits=None)
+    trace.finish(delivered, reason)
+    return trace
+
+
+class TestDiffEngine:
+    def test_identical_traces_have_no_divergence(self):
+        a = [make_trace([0, 1, 2]), make_trace([2, 1, 0])]
+        b = [make_trace([0, 1, 2]), make_trace([2, 1, 0])]
+        assert diff_traces("case", a, b) is None
+
+    def test_first_divergence_reports_pair_hop_and_field(self):
+        expected = [make_trace([0, 1, 2]), make_trace([3, 4, 5])]
+        actual = [make_trace([0, 1, 2]), make_trace([3, 6, 5])]
+        divergence = diff_traces("case", expected, actual)
+        assert divergence is not None
+        assert divergence.kind == "hop"
+        assert divergence.trace_index == 1
+        assert divergence.pair == "3 -> 5"
+        assert divergence.hop_index == 0
+        assert divergence.field == "next_node"
+        assert divergence.expected == 4
+        assert divergence.actual == 6
+
+    def test_type_only_difference_is_detected(self):
+        # 1 vs True compare equal in Python; the diff must still flag the
+        # type change (the codec keeps them distinct on disk).
+        expected = [make_trace([0, 1, 2])]
+        actual = [make_trace([0, True, 2])]
+        divergence = diff_traces("case", expected, actual)
+        assert divergence is not None
+        assert divergence.field == "next_node"
+
+    def test_event_count_divergence(self):
+        expected = [make_trace([0, 1, 2])]
+        # same pair, same forwards, but the deliver event never happened
+        truncated = PacketTrace(scheme="s", source=0, target=2,
+                                events=list(expected[0].events[:2]))
+        truncated.finish(False, "hop limit exceeded")
+        divergence = diff_traces("case", expected, [truncated])
+        assert divergence is not None
+        assert divergence.kind == "event-count"
+        assert divergence.expected == 3 and divergence.actual == 2
+
+    def test_verdict_divergence(self):
+        expected = [make_trace([0, 1], delivered=True)]
+        actual = [make_trace([0, 1], delivered=False, reason="loop")]
+        divergence = diff_traces("case", expected, actual)
+        assert divergence is not None
+        assert divergence.kind == "verdict"
+        assert divergence.field == "delivered"
+
+    def test_trace_count_divergence(self):
+        expected = [make_trace([0, 1])]
+        divergence = diff_traces("case", expected, [])
+        assert divergence is not None
+        assert divergence.kind == "trace-count"
+        assert divergence.expected == 1 and divergence.actual == 0
+
+    def test_format_divergence_shows_both_hops(self):
+        expected = [make_trace([0, 1, 2, 3])]
+        actual = [make_trace([0, 1, 9, 3])]
+        divergence = diff_traces("case", expected, actual)
+        assert divergence.hop_index == 1 and divergence.field == "next_node"
+        report = format_divergence(divergence, expected, actual)
+        assert "expected hop [1]" in report
+        assert "actual   hop [1]" in report
+        assert "last agreeing hop [0]" in report
+        assert "--port 2--> 2" in report and "--port 2--> 9" in report
+
+
+class TestSeededTieBreakPerturbation:
+    def test_perturbed_landmark_seed_is_detected(self):
+        """A different construction seed flips Cowen landmark tie-breaks;
+        the diff engine must catch it and point at the first changed
+        decision, not an aggregate."""
+        case = case_by_name("cowen-er-shortest-path")
+        _, expected = record_case(case)
+
+        graph, algebra = case.instance()
+        perturbed = build_scheme(graph, algebra, mode=case.mode,
+                                 rng=random.Random(case.seed + 2))
+        with capture_traces() as capture:
+            for source, target in case.pairs(graph):
+                try:
+                    perturbed.route(source, target)
+                except ReproError:
+                    pass
+        divergence = diff_traces(case.name, expected, capture.traces)
+        assert divergence is not None
+        assert divergence.kind in ("hop", "verdict", "event-count")
+        # The report names the exact pair and decision that changed.
+        report = format_divergence(divergence, expected, capture.traces)
+        assert divergence.pair in report
+        assert "expected" in report and "actual" in report

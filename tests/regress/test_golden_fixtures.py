@@ -1,0 +1,118 @@
+"""The golden regression gate as a pytest tier.
+
+Every case replays its pinned instance and must match the committed
+fixture hop for hop *and* byte for byte — any PR that changes a routing
+decision (or the fixture codec) fails here with a first-divergence
+report before it can silently shift aggregate stretch/memory stats.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.regress import (
+    GOLDEN_CASES,
+    check_case,
+    fixture_path,
+    load_fixture,
+    record_all,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+GOLDEN_DIR = os.path.join(REPO_ROOT, "tests", "golden")
+
+
+@pytest.mark.parametrize("case", GOLDEN_CASES, ids=lambda c: c.name)
+def test_committed_fixtures_match(case):
+    result = check_case(case, GOLDEN_DIR)
+    assert result.ok, f"golden case {case.name} {result.status}:\n{result.detail}"
+
+
+def test_fixture_meta_pins_the_instance():
+    for case in GOLDEN_CASES:
+        with open(fixture_path(GOLDEN_DIR, case.name)) as handle:
+            meta, traces = load_fixture(handle.read())
+        assert meta["case"] == case.name
+        assert meta["seed"] == case.seed
+        assert meta["mode"] == case.mode
+        assert meta["pairs"] == len(traces)
+        assert traces, f"{case.name}: fixture holds no traces"
+
+
+def test_no_orphan_fixtures():
+    committed = {name for name in os.listdir(GOLDEN_DIR)
+                 if name.endswith(".jsonl")}
+    expected = {f"{case.name}.jsonl" for case in GOLDEN_CASES}
+    assert committed == expected
+
+
+class TestGoldenCli:
+    def run_cli(self, *argv, cwd=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, cwd=cwd or REPO_ROOT, env=env,
+        )
+
+    def test_record_then_check_round_trips(self, tmp_path):
+        target = str(tmp_path / "golden")
+        recorded = self.run_cli("golden", "record", "--dir", target,
+                                "--case", "fig1c-shortest-path")
+        assert recorded.returncode == 0, recorded.stderr
+        assert "fig1c-shortest-path" in recorded.stdout
+        checked = self.run_cli("golden", "check", "--dir", target,
+                               "--case", "fig1c-shortest-path")
+        assert checked.returncode == 0, checked.stdout + checked.stderr
+        assert "OK" in checked.stdout
+
+    def test_check_fails_on_perturbed_fixture(self, tmp_path):
+        """The acceptance gate: a deliberate tie-break perturbation in the
+        fixture makes `golden check` exit nonzero with a first-divergence
+        report naming the pair and hop."""
+        import json
+
+        target = str(tmp_path / "golden")
+        record_all(target, cases=[c for c in GOLDEN_CASES
+                                  if c.name == "fig1c-shortest-path"])
+        path = fixture_path(target, "fig1c-shortest-path")
+        lines = open(path).read().splitlines()
+        record = json.loads(lines[1])
+        first_forward = next(e for e in record["events"]
+                             if e["action"] == "forward")
+        first_forward["next_node"] = 99
+        lines[1] = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+        checked = self.run_cli("golden", "check", "--dir", target,
+                               "--case", "fig1c-shortest-path")
+        assert checked.returncode == 1
+        assert "DIVERGENT" in checked.stdout
+        assert "next_node differs" in checked.stdout
+        assert "hop" in checked.stdout
+
+    def test_check_fails_on_missing_fixture(self, tmp_path):
+        checked = self.run_cli("golden", "check", "--dir",
+                               str(tmp_path / "empty"))
+        assert checked.returncode == 1
+        assert "MISSING" in checked.stdout
+
+    def test_check_fails_on_stale_serialization(self, tmp_path):
+        """Byte-level staleness (e.g. hand-edited metadata) is caught even
+        when every hop still matches."""
+        target = str(tmp_path / "golden")
+        record_all(target, cases=[c for c in GOLDEN_CASES
+                                  if c.name == "fig1c-shortest-path"])
+        path = fixture_path(target, "fig1c-shortest-path")
+        text = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(text.replace('"seed":1101', '"seed":1101,"extra":0', 1))
+        checked = self.run_cli("golden", "check", "--dir", target,
+                               "--case", "fig1c-shortest-path")
+        assert checked.returncode == 1
+        assert "STALE" in checked.stdout

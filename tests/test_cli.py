@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import POLICIES, build_parser, main
+from repro.cli import POLICIES, _print_trace, build_parser, main
+from repro.obs.tracing import PacketTrace
 
 
 class TestParser:
@@ -63,3 +64,62 @@ class TestCommands:
     def test_scale_needs_three_sizes(self):
         with pytest.raises(SystemExit):
             main(["scale", "usable-path", "--sizes", "16,32"])
+
+
+class TestPrintTrace:
+    def trace(self, finish=None):
+        trace = PacketTrace(scheme="s", source=0, target=2)
+        trace.add(0, "forward", 1, 1, header=2, header_bits=None)
+        trace.add(1, "forward", 2, 2, header=2, header_bits=None)
+        if finish is not None:
+            trace.finish(*finish)
+        return trace
+
+    def test_delivered_trace(self, capsys):
+        trace = self.trace()
+        trace.add(2, "deliver", None, None, header=2, header_bits=None)
+        trace.finish(True)
+        _print_trace(trace)
+        out = capsys.readouterr().out
+        assert "2 hops, delivered" in out
+
+    def test_failed_trace_counts_every_forward(self, capsys):
+        _print_trace(self.trace(finish=(False, "hop limit exceeded")))
+        out = capsys.readouterr().out
+        # two forwards = two traversed edges, even without a deliver event
+        assert "2 hops, FAILED (hop limit exceeded)" in out
+
+    def test_unfinished_trace_is_not_failed(self, capsys):
+        # finish() never ran (e.g. the local routing function raised):
+        # delivered is None and must not render as "FAILED ()"
+        _print_trace(self.trace(finish=None))
+        out = capsys.readouterr().out
+        assert "UNFINISHED" in out
+        assert "FAILED" not in out
+
+    def test_route_trace_reports_dropped_traces(self, capsys):
+        assert main(["route", "widest-path", "--n", "12", "--trace",
+                     "--trace-limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped at the capture limit of 2" in out
+
+
+class TestGoldenCommands:
+    def test_golden_record_and_check(self, tmp_path, capsys):
+        target = str(tmp_path / "golden")
+        assert main(["golden", "record", "--dir", target,
+                     "--case", "fig1c-shortest-path"]) == 0
+        assert "recorded fig1c-shortest-path" in capsys.readouterr().out
+        assert main(["golden", "check", "--dir", target,
+                     "--case", "fig1c-shortest-path"]) == 0
+        assert "golden check passed" in capsys.readouterr().out
+
+    def test_golden_check_missing_fixture_fails(self, tmp_path, capsys):
+        assert main(["golden", "check", "--dir", str(tmp_path / "none"),
+                     "--case", "fig1c-shortest-path"]) == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_golden_unknown_case(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["golden", "check", "--dir", str(tmp_path),
+                  "--case", "not-a-case"])
