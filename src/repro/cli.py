@@ -61,6 +61,7 @@ from repro.core import (
     classify,
     evaluate_scheme,
     fit_scaling,
+    oracle_cache,
     run_experiment,
 )
 from repro.exceptions import ReproError
@@ -227,12 +228,19 @@ def cmd_evaluate(args) -> int:
                 "n": graph.number_of_nodes(),
                 "m": graph.number_of_edges(),
             },
+            # Parent-process oracle lifecycle: with --workers on the fork
+            # path, tree builds happen in the workers and show up in
+            # `profile`'s merged telemetry instead.
+            "oracle": oracle_cache.stats(),
             "report": obs.report_to_dict(report),
         }
         print(obs.to_json(payload))
     else:
         print(f"topology: n={graph.number_of_nodes()} m={graph.number_of_edges()}")
         print(report.summary())
+        stats = oracle_cache.stats()
+        print(f"oracle: {stats['trees_built']}/{graph.number_of_nodes()} "
+              f"source trees built ({stats['trees_requested']} lookups)")
         if report.failures:
             print(f"failures (first {len(report.failures)}): {report.failures}")
     return 1 if report.failures else 0
@@ -289,6 +297,7 @@ def cmd_profile(args) -> int:
         },
         "phases": snapshot["spans"],
         "metrics": snapshot["metrics"],
+        "oracle": oracle_cache.stats(),
         "protocols": protocols,
         "report": obs.report_to_dict(report),
     }

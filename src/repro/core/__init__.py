@@ -26,6 +26,7 @@ from repro.core.simulate import (
     EvaluationReport,
     ExperimentResult,
     OracleCache,
+    PreferredWeightOracle,
     as_rng,
     evaluate_scheme,
     graph_signature,
@@ -34,7 +35,7 @@ from repro.core.simulate import (
     run_experiment,
     sample_pairs,
 )
-from repro.core.parallel import evaluate_sharded, shard_pairs
+from repro.core.parallel import evaluate_sharded, shard_pairs, shard_pairs_by_source
 
 __all__ = [
     "Classification",
@@ -68,6 +69,7 @@ __all__ = [
     "EvaluationReport",
     "ExperimentResult",
     "OracleCache",
+    "PreferredWeightOracle",
     "as_rng",
     "evaluate_scheme",
     "evaluate_sharded",
@@ -77,4 +79,5 @@ __all__ = [
     "run_experiment",
     "sample_pairs",
     "shard_pairs",
+    "shard_pairs_by_source",
 ]

@@ -3,28 +3,44 @@
 Routing every ordered pair through a built scheme is embarrassingly
 parallel: each pair's verification touches only read-only state (the
 scheme's tables, the graph, the exact oracle).  This module splits the
-pair list into contiguous shards, evaluates them on a
+pair list into **source-grouped** shards, evaluates them on a
 ``ProcessPoolExecutor``, and folds the per-shard
 :class:`~repro.core.simulate.ShardResult` objects — counts, stretch
 statistics, failure lists, packet traces and metric registries — back into
-exactly the aggregate a serial pass would produce.  Merging is exact
-because every aggregate involved is associative:
+exactly the aggregate a serial pass would produce.
 
-* counts and :class:`~repro.routing.stretch.StretchReport` add;
-* failures and traces concatenate in shard order (shards are contiguous
-  slices, so the order matches a serial scan);
+Sharding by source is what makes the lazy oracle pay off across
+processes: the per-source preferred-path tree is the unit of oracle
+state, so a shard spanning ``k`` sources costs its worker ``k`` tree
+builds instead of the full ``n`` — the ROADMAP's "shard-level oracle
+slicing".  Grouping reorders pairs, so the merge restores serial order
+explicitly instead of relying on shard contiguity:
+
+* counts and :class:`~repro.routing.stretch.StretchReport` add (both are
+  order-insensitive);
+* each shard remembers the original position of every pair it carries;
+  failures and traces are matched back to those positions and sorted, so
+  the merged report lists them in the exact serial scan order;
+* within a shard, pairs stay sorted by original position, so a worker's
+  bounded trace capture provably retains every trace the serial capture
+  would have kept (see :func:`_fold_traces`);
 * worker :class:`~repro.obs.metrics.MetricsRegistry` objects merge into
   the parent registry, and worker span logs are appended to the parent's.
 
-Worker setup follows the platform's best start method:
+Worker setup follows the platform's best start method (overridable with
+the ``REPRO_START_METHOD`` environment variable — CI uses it to exercise
+the spawn path on Linux):
 
 * **fork** (Linux, the common case): workers inherit the parent's graph,
-  scheme and — crucially — the cached oracle by copy-on-write, so nothing
-  heavyweight is pickled and the all-pairs computation is never repeated;
+  scheme and — crucially — the cached lazy oracle with every tree it has
+  accumulated, by copy-on-write; nothing heavyweight is pickled and each
+  worker builds only the trees its shards still miss;
 * **spawn** (fallback): the graph, algebra and scheme are pickled to each
-  worker once via the pool initializer, and each worker rebuilds the
-  oracle once through its own process-local
-  :data:`~repro.core.simulate.oracle_cache`.
+  worker once via the pool initializer; the worker's process-local
+  :data:`~repro.core.simulate.oracle_cache` then hands out a *lazy*
+  oracle, so startup runs **zero** Dijkstra sweeps and each worker builds
+  only its shards' source trees — ``O(sources_per_shard)`` instead of the
+  pre-PR-4 ``O(n)`` per worker.
 
 If worker state cannot be pickled under spawn, or the pool breaks, the
 engine falls back to serial evaluation (counted on the
@@ -35,10 +51,11 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core import simulate as _simulate
 from repro.core.simulate import ShardResult, route_shard
@@ -56,13 +73,17 @@ from repro.obs.metrics import (
 #: smooths out per-shard cost variance without drowning in task overhead.
 SHARDS_PER_WORKER = 4
 
+#: Environment variable forcing the pool start method (fork/spawn/forkserver).
+START_METHOD_ENV = "REPRO_START_METHOD"
+
 
 def shard_pairs(pairs: Sequence[Tuple], workers: int,
                 shard_size: Optional[int] = None) -> List[List[Tuple]]:
-    """Split *pairs* into contiguous shards.
+    """Split *pairs* into contiguous shards (the pre-PR-4 strategy).
 
-    Contiguity is what makes the merge exact: concatenating shard results
-    in order reproduces the serial scan order of failures and traces.
+    Kept for callers that need plain contiguous slicing; the evaluation
+    engine itself shards with :func:`shard_pairs_by_source` so workers
+    can slice oracle construction per shard.
     """
     pairs = list(pairs)
     if not pairs:
@@ -70,6 +91,63 @@ def shard_pairs(pairs: Sequence[Tuple], workers: int,
     if shard_size is None:
         shard_size = max(1, math.ceil(len(pairs) / max(1, workers * SHARDS_PER_WORKER)))
     return [pairs[i:i + shard_size] for i in range(0, len(pairs), shard_size)]
+
+
+def shard_pairs_by_source(pairs: Sequence[Tuple], workers: int,
+                          shard_size: Optional[int] = None
+                          ) -> Tuple[List[List[Tuple]], List[List[int]]]:
+    """Split *pairs* into source-grouped shards plus origin-index maps.
+
+    Pairs are grouped by source (groups ordered by each source's first
+    appearance), the grouped sequence is chunked into shards of about
+    ``shard_size`` pairs, and every shard is then re-sorted by original
+    position.  Returns ``(shards, index_lists)`` where
+    ``index_lists[i][j]`` is the original position of ``shards[i][j]`` in
+    *pairs* — what the merge uses to restore exact serial order.
+
+    Two properties matter downstream:
+
+    * each shard spans few distinct sources (oracle slicing), and a
+      source is split across shards only at a chunk boundary;
+    * within a shard, original positions are increasing, so a worker's
+      capped trace capture keeps its shard's *earliest* routed pairs —
+      exactly the ones a serial capture could have kept.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return [], []
+    if shard_size is None:
+        shard_size = max(1, math.ceil(len(pairs) / max(1, workers * SHARDS_PER_WORKER)))
+    groups: "dict[object, List[int]]" = {}
+    for index, pair in enumerate(pairs):
+        groups.setdefault(pair[0], []).append(index)
+    shards: List[List[Tuple]] = []
+    index_lists: List[List[int]] = []
+    chunk: List[int] = []
+    for group in groups.values():
+        for index in group:
+            chunk.append(index)
+            if len(chunk) >= shard_size:
+                chunk.sort()
+                shards.append([pairs[i] for i in chunk])
+                index_lists.append(chunk)
+                chunk = []
+    if chunk:
+        chunk.sort()
+        shards.append([pairs[i] for i in chunk])
+        index_lists.append(chunk)
+    return shards, index_lists
+
+
+def _start_method() -> Optional[str]:
+    """The pool start method: the env override when valid, else fork."""
+    methods = multiprocessing.get_all_start_methods()
+    forced = os.environ.get(START_METHOD_ENV, "").strip().lower()
+    if forced in methods:
+        return forced
+    if "fork" in methods:
+        return "fork"
+    return None  # platform default
 
 
 # ---------------------------------------------------------------------------
@@ -104,7 +182,9 @@ def _init_spawn_worker(payload: bytes, telemetry_enabled: bool) -> None:
     if telemetry_enabled:
         _telemetry_enable()
     _reset_worker_telemetry()
-    # One oracle rebuild per worker process, cached for every shard.
+    # One *lazy* oracle per worker process, shared by every shard it runs:
+    # no trees are built here — each shard's route_shard bulk-builds only
+    # the sources that shard actually routes from.
     oracle = _simulate.oracle_cache.get(graph, algebra, attr=attr,
                                         scheme_name=scheme.name)
     _WORKER_STATE = (graph, algebra, scheme, oracle, attr, max_k, trace_limit)
@@ -129,13 +209,78 @@ def _run_shard(shard: List[Tuple]) -> ShardResult:
 # ---------------------------------------------------------------------------
 
 
-def _merge_worker_telemetry(results: List[ShardResult], trace_limit: int
-                            ) -> Tuple:
-    """Fold worker registries/spans into this process.
+def _match_indices(shard: List[Tuple], index_list: List[int],
+                   items: Sequence, key: Callable) -> List[Tuple]:
+    """Tag *items* (an in-order subsequence of *shard*) with global indices.
 
-    Returns ``(merged_traces, dropped)`` — the traces the report should
-    carry and how many worker traces fell past the parent-side limit.
+    ``key(item)`` yields the ``(source, target)`` identity to match
+    against the shard's pairs; items arrive in shard scan order, so a
+    single forward pass pairs each with the original position of the pair
+    that produced it (duplicates included).
     """
+    tagged = []
+    pos = 0
+    for item in items:
+        ident = key(item)
+        while pos < len(shard) and (shard[pos][0], shard[pos][1]) != ident:
+            pos += 1
+        if pos < len(shard):
+            tagged.append((index_list[pos], item))
+            pos += 1
+        else:  # unmatched (cannot happen for well-formed results): keep last
+            tagged.append((float("inf"), item))
+    return tagged
+
+
+def _ordered_failures(shards: List[List[Tuple]], index_lists: List[List[int]],
+                      results: List[ShardResult]) -> List[Tuple]:
+    """All shard failures, restored to the serial scan order."""
+    tagged = []
+    for shard, indices, result in zip(shards, index_lists, results):
+        tagged.extend(_match_indices(shard, indices, result.failures,
+                                     lambda failure: (failure[0], failure[1])))
+    tagged.sort(key=lambda entry: entry[0])
+    return [item for _, item in tagged]
+
+
+def _fold_traces(shards: List[List[Tuple]], index_lists: List[List[int]],
+                 results: List[ShardResult], trace_limit: int) -> Tuple:
+    """Fold worker traces into ``(traces, dropped)`` matching a serial run.
+
+    The serial capture keeps the first ``trace_limit`` attempted traces
+    in pair order.  Each worker keeps its shard's first ``trace_limit``
+    in the same order (shards are sorted by original position), which is
+    a superset of the serially-kept traces from that shard — so sorting
+    the union by original position and truncating reproduces the serial
+    capture's content *and* order exactly.  Everything else, worker-side
+    drops included, is accounted as dropped, keeping
+    ``kept + dropped == attempted`` just like one serial capture.
+
+    With a caller capture active, traces land there instead (up to its
+    own limit) and the report carries none — the serial semantics.
+    """
+    worker_dropped = sum(result.traces_dropped for result in results)
+    tagged = []
+    for shard, indices, result in zip(shards, index_lists, results):
+        tagged.extend(_match_indices(shard, indices, result.traces,
+                                     lambda trace: (trace.source, trace.target)))
+    tagged.sort(key=lambda entry: entry[0])
+    active = _tracing.active_capture()
+    if active is not None:
+        for _, trace in tagged:
+            if active.limit is not None and len(active.traces) >= active.limit:
+                active.dropped += 1
+            else:
+                active.traces.append(trace)
+        active.dropped += worker_dropped
+        return (), 0
+    kept = tuple(item for _, item in tagged[:trace_limit])
+    dropped = len(tagged) - len(kept) + worker_dropped
+    return kept, dropped
+
+
+def _fold_worker_telemetry(results: List[ShardResult]) -> None:
+    """Merge worker registries and span logs into this process's."""
     live = _live_registry()
     for result in results:
         if result.registry is not None:
@@ -144,28 +289,6 @@ def _merge_worker_telemetry(results: List[ShardResult], trace_limit: int
         if result.spans:
             _tracing.extend_spans(result.spans)
             result.spans = None
-
-    active = _tracing.active_capture()
-    merged_traces: List = []
-    dropped = 0
-    for result in results:
-        for trace in result.traces:
-            if active is not None:
-                if active.limit is not None and len(active.traces) >= active.limit:
-                    active.dropped += 1
-                else:
-                    active.traces.append(trace)
-            elif len(merged_traces) < trace_limit:
-                merged_traces.append(trace)
-            else:
-                dropped += 1
-    if active is not None:
-        # Matches serial semantics: with a caller capture active, traces
-        # land in that capture (worker-side drops included in its count)
-        # and the report carries none of its own.
-        active.dropped += sum(result.traces_dropped for result in results)
-        return (), 0
-    return tuple(merged_traces), dropped
 
 
 def _serial_fallback(algebra, scheme, oracle, pairs, max_k, trace_limit,
@@ -184,19 +307,22 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
     :func:`repro.core.simulate.route_shard` would return over the whole
     pair list (telemetry timing values aside), so
     ``finalize_report`` produces the same :class:`EvaluationReport` either
-    way.
+    way — even though shards are grouped by source rather than sliced
+    contiguously, because the merge restores serial order from each
+    shard's origin-index map.
     """
     global _WORKER_STATE
     pairs = list(pairs)
-    shards = shard_pairs(pairs, workers, shard_size=shard_size)
+    shards, index_lists = shard_pairs_by_source(pairs, workers,
+                                                shard_size=shard_size)
     if len(shards) <= 1:
         return route_shard(algebra, scheme, oracle, pairs,
                            max_k=max_k, trace_limit=trace_limit)
 
     workers = min(workers, len(shards))
     telemetry = _telemetry_enabled()
-    methods = multiprocessing.get_all_start_methods()
-    use_fork = "fork" in methods
+    method = _start_method()
+    use_fork = method == "fork"
 
     if use_fork:
         context = multiprocessing.get_context("fork")
@@ -204,7 +330,7 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
         _WORKER_STATE = (graph, algebra, scheme, oracle, scheme.attr,
                          max_k, trace_limit)
     else:
-        context = multiprocessing.get_context()
+        context = multiprocessing.get_context(method)
         try:
             payload = pickle.dumps(
                 (graph, algebra, scheme, scheme.attr, max_k, trace_limit)
@@ -228,25 +354,22 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
         if use_fork:
             _WORKER_STATE = None
 
-    # Fold worker telemetry before merging counts: ShardResult.merge
-    # concatenates traces, which would double-count them afterwards.
-    merged_traces: Tuple = ()
-    parent_dropped = 0
-    caller_capture = _tracing.active_capture() is not None
+    # Restore order-sensitive fields from the origin-index maps *before*
+    # the count merge (ShardResult.merge concatenates failures/traces in
+    # shard order, which grouping made meaningless).
+    failures = _ordered_failures(shards, index_lists, results)
     if telemetry:
-        merged_traces, parent_dropped = _merge_worker_telemetry(results,
-                                                                trace_limit)
+        _fold_worker_telemetry(results)
+        traces, dropped = _fold_traces(shards, index_lists, results,
+                                       trace_limit)
+    else:
+        traces, dropped = (), 0
     merged = results[0]
     for result in results[1:]:
         merged.merge(result)
-    merged.traces = merged_traces
-    # merged.traces_dropped now sums the workers' own capture drops; add
-    # traces lost folding worker captures down to the parent limit.  With
-    # a caller capture active the report carries no traces (that capture
-    # tracks its own drops), matching the serial path.
-    merged.traces_dropped = (
-        0 if caller_capture else merged.traces_dropped + parent_dropped
-    )
+    merged.failures = failures
+    merged.traces = traces
+    merged.traces_dropped = dropped
     merged.registry = None
     merged.spans = None
     return merged

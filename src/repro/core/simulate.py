@@ -17,11 +17,14 @@ signature (``pairs=``, ``oracle=``, ``max_k=``, ``trace_limit=`` passed
 directly) keeps working through a shim that emits ``DeprecationWarning``;
 see ``docs/EVALUATION_API.md`` for the timeline.
 
-Exact oracles are cached process-wide in :data:`oracle_cache`, keyed on the
-graph's content signature and the algebra, so repeated evaluations of the
-same instance (benchmarks, profiles, scale sweeps) pay the all-pairs
-computation once.  With ``workers > 1`` the pair set is split into
-contiguous shards and evaluated in parallel by
+Exact oracles are **lazy** (PR 4): :class:`PreferredWeightOracle` builds
+one per-source preferred-path structure on first query, so a sampled
+workload pays only for the sources it routes from.  Oracles are cached
+process-wide in :data:`oracle_cache`, keyed on the graph's content
+signature, the algebra and the weight attribute, so repeated evaluations
+of the same instance (benchmarks, profiles, scale sweeps) accumulate
+trees instead of rebuilding them.  With ``workers > 1`` the pair set is
+split into source-grouped shards and evaluated in parallel by
 :mod:`repro.core.parallel`; shard merging is exact, so the report is
 bit-identical to a serial run.
 """
@@ -36,7 +39,7 @@ import warnings
 from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.obs import tracing as _obs_tracing
 from repro.obs.metrics import enabled as _telemetry_enabled
@@ -68,52 +71,153 @@ def as_rng(rng: Union[int, random.Random, None]) -> Optional[random.Random]:
     return random.Random(rng)
 
 
-def preferred_weight_oracle(graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR
-                            ) -> WeightOracle:
-    """Pick the right exact engine for *algebra* and wrap it as an oracle."""
-    if isinstance(algebra, BGPAlgebra):
-        from repro.paths.valley_free import all_pairs_bgp_routes
+class PreferredWeightOracle:
+    """Lazy exact oracle: one preferred-path structure per *source*.
 
-        routes = all_pairs_bgp_routes(graph, algebra, attr=attr)
+    The per-source structure is the unit of routing state (one
+    generalized-Dijkstra :class:`~repro.paths.dijkstra.PathTree`, one
+    valley-free automaton run, one shortest-widest sweep — picked by the
+    same per-algebra dispatch the eager oracle used), and it is built on
+    the first query from that source, never up front.  Workloads that
+    sample ``pair_count ≪ n²`` pairs, or shards that route from a handful
+    of sources, therefore pay for exactly the trees they touch instead of
+    all ``n``.
 
-        def bgp_oracle(s, t):
-            route = routes[s].get(t)
-            return route.label if route else PHI
+    * :meth:`ensure_sources` bulk-builds the structures for a known
+      source set (the parallel engine calls it per shard, so a shard's
+      startup cost is ``O(sources_per_shard)`` builds);
+    * ``trees_requested`` / ``trees_built`` count lookups and actual
+      builds (also emitted as the ``oracle.trees_requested`` /
+      ``oracle.trees_built`` telemetry counters), so cache behavior is
+      assertable in tests and visible in profiles;
+    * built structures are memoized for the life of the object — and the
+      object itself lives in :data:`oracle_cache`, so trees accumulate
+      across evaluations of the same instance;
+    * algebras with no per-source engine (non-regular, non-tabular) fall
+      back to per-pair enumeration, memoized per ordered pair;
+      ``trees_built`` stays 0 for them.
 
-        return bgp_oracle
+    Thread-safe: builds take the object's lock with a double-check, so
+    two threads querying the same cached oracle build each structure
+    once.  Instances are picklable (the lock is dropped and recreated);
+    forked workers inherit already-built trees copy-on-write.
+    """
 
-    if (
-        isinstance(algebra, LexicographicProduct)
-        and isinstance(algebra.first, WidestPath)
-        and isinstance(algebra.second, ShortestPath)
-    ):
-        from repro.paths.shortest_widest import all_pairs_shortest_widest
+    def __init__(self, graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR):
+        self.graph = graph
+        self.algebra = algebra
+        self.attr = attr
+        self.trees_requested = 0
+        self.trees_built = 0
+        self._tables: Dict = {}
+        self._enum_memo: Optional[Dict] = None
+        self._lock = threading.Lock()
+        self.engine = self._select_engine()
 
-        routes = all_pairs_shortest_widest(graph, attr=attr)
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
 
-        def sw_oracle(s, t):
-            route = routes[s].get(t)
-            return route.weight if route else PHI
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
-        return sw_oracle
+    def _select_engine(self) -> str:
+        """The per-algebra engine name (mirrors the old eager dispatch)."""
+        if isinstance(self.algebra, BGPAlgebra):
+            return "bgp"
+        if (
+            isinstance(self.algebra, LexicographicProduct)
+            and isinstance(self.algebra.first, WidestPath)
+            and isinstance(self.algebra.second, ShortestPath)
+        ):
+            return "shortest-widest"
+        declared = self.algebra.declared_properties()
+        if declared.monotone is not False and declared.isotone is not False:
+            return "dijkstra"
+        self._enum_memo = {}
+        return "enumeration"
 
-    declared = algebra.declared_properties()
-    if declared.monotone is not False and declared.isotone is not False:
+    def _build_table(self, source) -> Dict:
+        """target -> preferred weight, from one per-source engine run."""
+        if self.engine == "bgp":
+            from repro.paths.valley_free import bgp_routes
+
+            routes = bgp_routes(self.graph, self.algebra, source, attr=self.attr)
+            return {t: route.label for t, route in routes.items()}
+        if self.engine == "shortest-widest":
+            from repro.paths.shortest_widest import shortest_widest_routes
+
+            routes = shortest_widest_routes(self.graph, source, attr=self.attr)
+            return {t: route.weight for t, route in routes.items()}
         from repro.paths.dijkstra import preferred_path_tree
 
-        trees = {
-            node: preferred_path_tree(graph, algebra, node, attr=attr)
-            for node in graph.nodes()
+        return preferred_path_tree(self.graph, self.algebra, source,
+                                   attr=self.attr).weight
+
+    def _table_for(self, source) -> Dict:
+        table = self._tables.get(source)
+        if table is not None:
+            return table
+        with self._lock:
+            table = self._tables.get(source)
+            if table is None:
+                table = self._build_table(source)
+                self._tables[source] = table
+                self.trees_built += 1
+                if _telemetry_enabled():
+                    _telemetry().counter("oracle.trees_built").inc()
+        return table
+
+    def ensure_sources(self, sources: Iterable) -> None:
+        """Bulk-build the per-source structures for *sources* (idempotent).
+
+        A no-op for the enumeration fallback, where no per-source
+        structure exists and eager enumeration over all targets would
+        cost more than the queries it serves.
+        """
+        if self.engine == "enumeration":
+            return
+        for source in dict.fromkeys(sources):
+            self.trees_requested += 1
+            if _telemetry_enabled():
+                _telemetry().counter("oracle.trees_requested").inc()
+            self._table_for(source)
+
+    def __call__(self, s, t):
+        self.trees_requested += 1
+        if _telemetry_enabled():
+            _telemetry().counter("oracle.trees_requested").inc()
+        if self.engine == "enumeration":
+            key = (s, t)
+            if key not in self._enum_memo:
+                from repro.paths.enumerate import preferred_by_enumeration
+
+                found = preferred_by_enumeration(self.graph, self.algebra, s, t,
+                                                 attr=self.attr)
+                self._enum_memo[key] = found.weight if found else PHI
+            return self._enum_memo[key]
+        return self._table_for(s).get(t, PHI)
+
+    def stats(self) -> dict:
+        return {
+            "engine": self.engine,
+            "sources_cached": len(self._tables),
+            "trees_requested": self.trees_requested,
+            "trees_built": self.trees_built,
         }
-        return lambda s, t: trees[s].weight.get(t, PHI)
 
-    from repro.paths.enumerate import preferred_by_enumeration
 
-    def enum_oracle(s, t):
-        found = preferred_by_enumeration(graph, algebra, s, t, attr=attr)
-        return found.weight if found else PHI
+def preferred_weight_oracle(graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR
+                            ) -> "PreferredWeightOracle":
+    """The lazy exact oracle for *algebra* (engine picked per algebra).
 
-    return enum_oracle
+    Since PR 4 this returns a :class:`PreferredWeightOracle` — still a
+    plain ``(s, t) -> weight`` callable, but building per-source
+    structures on first query instead of all ``n`` up front.
+    """
+    return PreferredWeightOracle(graph, algebra, attr=attr)
 
 
 # ---------------------------------------------------------------------------
@@ -143,11 +247,23 @@ def _algebra_key(algebra: RoutingAlgebra) -> Tuple:
 
 
 class OracleCache:
-    """Process-wide LRU of exact preferred-weight oracles.
+    """Process-wide LRU of lazy exact preferred-weight oracles.
 
-    Keyed on ``(graph_signature, algebra identity, attr)``; bounded so the
-    captured all-pairs structures (and the graphs they close over) cannot
-    grow without limit across a long benchmark session.
+    Keyed on ``(graph_signature, algebra identity, attr)`` — the weight
+    attribute is a key component in its own right, so two attributes on
+    one graph can never alias even if a future ``graph_signature`` stops
+    folding the attribute in.  Bounded so cached oracles (and the graphs
+    they hold) cannot grow without limit across a long benchmark session.
+
+    Entries are :class:`PreferredWeightOracle` objects, so the per-source
+    trees an evaluation builds stay memoized for the next evaluation of
+    the same instance — the cache accumulates exactly the trees the
+    workloads have touched, never more.
+
+    Thread-safe: lookups, ``stats()`` and ``clear()`` share one lock, and
+    a miss takes a per-key build lock with a double check, so concurrent
+    callers missing the same key perform one build (no thundering herd)
+    while builds for different keys proceed independently.
     """
 
     def __init__(self, capacity: int = 8):
@@ -158,45 +274,87 @@ class OracleCache:
         self.misses = 0
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple, WeightOracle]" = OrderedDict()
+        self._build_locks: Dict[Tuple, threading.Lock] = {}
+
+    def _lookup(self, key) -> Optional[WeightOracle]:
+        """The cached oracle for *key* with hit bookkeeping, else None."""
+        with self._lock:
+            oracle = self._entries.get(key)
+            if oracle is None:
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        _telemetry().counter("oracle_cache.hits").inc()
+        return oracle
 
     def get(self, graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
             scheme_name: str = "") -> WeightOracle:
-        """The cached oracle for this instance, building (and timing) on miss.
+        """The cached oracle for this instance, building on miss.
 
-        Only a miss opens the ``oracle`` span, so span counts double as
-        cache-behavior assertions in tests and profiles.
+        Every lookup opens an ``oracle`` span tagged with the *current*
+        scheme and ``cache_hit="true"``/``"false"``, so per-scheme
+        profiles attribute oracle cost truthfully: a scheme that rode the
+        cache shows a zero-cost hit span, not the first scheme's build.
         """
-        key = (graph_signature(graph, attr), _algebra_key(algebra))
+        key = (graph_signature(graph, attr), _algebra_key(algebra), attr)
+        oracle = self._lookup(key)
+        if oracle is not None:
+            with _obs_tracing.span("oracle", scheme=scheme_name,
+                                   cache_hit="true"):
+                pass
+            return oracle
         with self._lock:
-            oracle = self._entries.get(key)
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        with build_lock:
+            # Double check: a concurrent caller may have built while this
+            # one waited on the build lock; that is a hit, not a rebuild.
+            oracle = self._lookup(key)
             if oracle is not None:
-                self._entries.move_to_end(key)
-                self.hits += 1
-                _telemetry().counter("oracle_cache.hits").inc()
+                with _obs_tracing.span("oracle", scheme=scheme_name,
+                                       cache_hit="true"):
+                    pass
                 return oracle
-        self.misses += 1
-        _telemetry().counter("oracle_cache.misses").inc()
-        with _obs_tracing.span("oracle", scheme=scheme_name):
-            oracle = preferred_weight_oracle(graph, algebra, attr=attr)
-        with self._lock:
-            self._entries[key] = oracle
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            with self._lock:
+                self.misses += 1
+            _telemetry().counter("oracle_cache.misses").inc()
+            with _obs_tracing.span("oracle", scheme=scheme_name,
+                                   cache_hit="false"):
+                oracle = preferred_weight_oracle(graph, algebra, attr=attr)
+            with self._lock:
+                self._entries[key] = oracle
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    evicted, _ = self._entries.popitem(last=False)
+                    self._build_locks.pop(evicted, None)
         return oracle
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+            self._build_locks.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._entries), "capacity": self.capacity}
+        """Hit/miss/entry counts plus the cached oracles' tree totals."""
+        with self._lock:
+            out = {"hits": self.hits, "misses": self.misses,
+                   "entries": len(self._entries), "capacity": self.capacity}
+            oracles = list(self._entries.values())
+        out["trees_requested"] = sum(
+            o.trees_requested for o in oracles
+            if isinstance(o, PreferredWeightOracle))
+        out["trees_built"] = sum(
+            o.trees_built for o in oracles
+            if isinstance(o, PreferredWeightOracle))
+        out["sources_cached"] = sum(
+            len(o._tables) for o in oracles
+            if isinstance(o, PreferredWeightOracle))
+        return out
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 #: The process-wide oracle cache every evaluation path goes through.
@@ -350,9 +508,18 @@ def route_shard(algebra: RoutingAlgebra, scheme: RoutingScheme,
     captured only when telemetry is on and no caller capture is already
     active, so an explicit ``with obs.capture_traces():`` keeps collecting
     into the caller's buffer.
+
+    A lazy *oracle* has its per-source structures bulk-built up front for
+    exactly this shard's sources (the ``oracle_trees`` span), so the
+    routing loop itself stays pure lookup and a shard touching ``k``
+    sources costs ``k`` tree builds, not ``n``.
     """
     telemetry = _telemetry_enabled()
     registry = _telemetry()
+    pairs = list(pairs)
+    if hasattr(oracle, "ensure_sources"):
+        with _obs_tracing.span("oracle_trees", scheme=scheme.name):
+            oracle.ensure_sources(s for s, _ in pairs)
     routed = 0
     delivered = 0
     optimal = 0

@@ -150,7 +150,14 @@ def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT
 
 def all_pairs_preferred_weights(graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
                                 unsafe: bool = False) -> Dict[object, PathTree]:
-    """Preferred path trees from every node (n runs of generalized Dijkstra)."""
+    """Preferred path trees from every node (n runs of generalized Dijkstra).
+
+    Eager by design: use it when every tree is genuinely needed (e.g.
+    materializing a full routing table).  Evaluation workloads that touch
+    only some sources should go through the lazy
+    :class:`repro.core.simulate.PreferredWeightOracle` instead, which
+    builds per-source trees on first query.
+    """
     return {
         node: preferred_path_tree(graph, algebra, node, attr=attr, unsafe=unsafe)
         for node in graph.nodes()

@@ -160,12 +160,17 @@ class TestOracleCache:
         graph, algebra, scheme = _instance()
         options = EvaluationOptions(pair_count=10)
         evaluate_scheme(graph, algebra, scheme, options=options)
-        first = [s for s in obs_tracing.spans() if s.name == "oracle"]
+        first = [s for s in obs_tracing.spans()
+                 if s.name == "oracle" and ("cache_hit", "false") in s.tags]
         assert len(first) == 1  # built exactly once
         evaluate_scheme(graph, algebra, scheme, options=options)
         evaluate_scheme(graph, algebra, scheme, options=options)
-        again = [s for s in obs_tracing.spans() if s.name == "oracle"]
+        again = [s for s in obs_tracing.spans()
+                 if s.name == "oracle" and ("cache_hit", "false") in s.tags]
         assert len(again) == 1  # no rebuild on the cached path
+        hits = [s for s in obs_tracing.spans()
+                if s.name == "oracle" and ("cache_hit", "true") in s.tags]
+        assert len(hits) == 2  # hits still leave a (zero-cost) span
         assert oracle_cache.stats()["hits"] == 2
         assert oracle_cache.stats()["misses"] == 1
 
@@ -177,7 +182,9 @@ class TestOracleCache:
         u, v, data = next(iter(graph.edges(data=True)))
         data[scheme.attr] = data[scheme.attr] + 1
         evaluate_scheme(graph, algebra, scheme, options=options)
-        oracle_spans = [s for s in obs_tracing.spans() if s.name == "oracle"]
+        oracle_spans = [s for s in obs_tracing.spans()
+                        if s.name == "oracle"
+                        and ("cache_hit", "false") in s.tags]
         assert len(oracle_spans) == 2  # new signature -> rebuilt
         assert oracle_cache.stats()["misses"] == 2
 
@@ -186,10 +193,11 @@ class TestOracleCache:
         a = oracle_cache.get(graph, ShortestPath(), attr=scheme.attr)
         b = oracle_cache.get(graph, ShortestPath(), attr=scheme.attr)
         assert a is b
-        assert oracle_cache.stats() == {
-            "hits": 1, "misses": 1, "entries": 1,
-            "capacity": oracle_cache.capacity,
-        }
+        stats = oracle_cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+        assert stats["capacity"] == oracle_cache.capacity
 
     def test_lru_eviction(self):
         algebra = ShortestPath()

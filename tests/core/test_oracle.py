@@ -1,0 +1,275 @@
+"""The PR 4 lazy oracle: engine dispatch, laziness, pickling, concurrency.
+
+Covers :class:`repro.core.simulate.PreferredWeightOracle` directly plus the
+:class:`~repro.core.simulate.OracleCache` fixes that ride along: the
+per-key build lock (no thundering herd), the explicit ``attr`` key
+component, and truthful per-scheme ``oracle`` span attribution on hits.
+"""
+
+import pickle
+import random
+import threading
+import time
+
+import pytest
+
+from repro.algebra.bgp import valley_free_algebra
+from repro.algebra.catalog import ShortestPath
+from repro.algebra.lexicographic import shortest_widest_path
+from repro.core import simulate as simulate_mod
+from repro.core.simulate import (
+    OracleCache,
+    PreferredWeightOracle,
+    oracle_cache,
+    preferred_weight_oracle,
+)
+from repro.graphs.bgp_topologies import coned_as_topology
+from repro.graphs.generators import erdos_renyi, ring
+from repro.graphs.weighting import assign_random_weights
+from repro.obs import tracing as obs_tracing
+from repro.obs.metrics import disable as telemetry_disable
+from repro.obs.metrics import enable as telemetry_enable
+from repro.obs.metrics import registry as telemetry_registry
+from repro.obs.metrics import reset as telemetry_reset
+from repro.paths.enumerate import preferred_by_enumeration
+from repro.protocols.disputes import DisputeWheelAlgebra, bad_gadget
+
+
+@pytest.fixture(autouse=True)
+def clean_global_state():
+    oracle_cache.clear()
+    telemetry_disable()
+    telemetry_reset()
+    obs_tracing.clear_spans()
+    yield
+    oracle_cache.clear()
+    telemetry_disable()
+    telemetry_reset()
+    obs_tracing.clear_spans()
+
+
+def _sp_instance(n=12, seed=1):
+    algebra = ShortestPath()
+    graph = erdos_renyi(n, rng=random.Random(seed))
+    assign_random_weights(graph, algebra, rng=random.Random(seed + 1))
+    return graph, algebra
+
+
+class TestEngineSelection:
+    def test_regular_algebra_uses_dijkstra(self):
+        graph, algebra = _sp_instance()
+        assert preferred_weight_oracle(graph, algebra).engine == "dijkstra"
+
+    def test_shortest_widest_engine(self):
+        algebra = shortest_widest_path(max_weight=5, max_capacity=5)
+        graph = ring(6)
+        assign_random_weights(graph, algebra, rng=random.Random(3))
+        assert preferred_weight_oracle(graph, algebra).engine == "shortest-widest"
+
+    def test_bgp_engine(self):
+        algebra = valley_free_algebra()
+        graph = coned_as_topology(2, 2, 2, rng=random.Random(4))
+        assert preferred_weight_oracle(graph, algebra).engine == "bgp"
+
+    def test_non_monotone_falls_back_to_enumeration(self):
+        oracle = preferred_weight_oracle(bad_gadget(3), DisputeWheelAlgebra())
+        assert oracle.engine == "enumeration"
+
+
+class TestLaziness:
+    def test_no_builds_at_construction(self):
+        graph, algebra = _sp_instance()
+        oracle = preferred_weight_oracle(graph, algebra)
+        assert oracle.trees_built == 0
+        assert oracle.trees_requested == 0
+        assert oracle.stats()["sources_cached"] == 0
+
+    def test_query_builds_only_its_source(self):
+        graph, algebra = _sp_instance()
+        oracle = preferred_weight_oracle(graph, algebra)
+        oracle(0, 5)
+        oracle(0, 7)
+        oracle(1, 3)
+        assert oracle.trees_built == 2  # sources 0 and 1, each once
+        assert oracle.trees_requested == 3
+        assert oracle.stats()["sources_cached"] == 2
+
+    def test_matches_enumeration_truth_lazily(self):
+        graph, algebra = _sp_instance()
+        oracle = preferred_weight_oracle(graph, algebra)
+        truth = preferred_by_enumeration(graph, algebra, 0, 5)
+        assert oracle(0, 5) == truth.weight
+        assert oracle.trees_built == 1
+
+    def test_ensure_sources_bulk_builds_once(self):
+        graph, algebra = _sp_instance()
+        oracle = preferred_weight_oracle(graph, algebra)
+        oracle.ensure_sources([0, 1, 0, 2, 1])  # duplicates collapse
+        assert oracle.trees_built == 3
+        assert oracle.trees_requested == 3
+        oracle.ensure_sources([0, 1, 2])  # idempotent: no rebuilds
+        assert oracle.trees_built == 3
+        oracle(0, 5)  # queries ride the prebuilt tables
+        assert oracle.trees_built == 3
+
+    def test_enumeration_memoizes_pairs_and_builds_nothing(self):
+        algebra = DisputeWheelAlgebra()
+        graph = bad_gadget(3)
+        oracle = preferred_weight_oracle(graph, algebra)
+        oracle.ensure_sources(graph.nodes())  # no-op for enumeration
+        assert oracle.trees_built == 0
+        first = oracle(1, 0)
+        truth = preferred_by_enumeration(graph, algebra, 1, 0)
+        assert first == (truth.weight if truth else first)
+        assert oracle(1, 0) == first  # memoized
+        assert oracle.trees_built == 0
+        assert oracle.trees_requested == 2
+
+    def test_telemetry_counters_emitted(self):
+        telemetry_enable()
+        graph, algebra = _sp_instance()
+        oracle = preferred_weight_oracle(graph, algebra)
+        oracle(0, 5)
+        oracle(0, 7)
+        oracle.ensure_sources([2])
+        registry = telemetry_registry()
+        assert registry.counter("oracle.trees_built").value == 2
+        assert registry.counter("oracle.trees_requested").value == 3
+
+
+class TestPickle:
+    def test_roundtrip_keeps_tables_and_counters(self):
+        graph, algebra = _sp_instance()
+        oracle = preferred_weight_oracle(graph, algebra)
+        expected = oracle(0, 5)
+        clone = pickle.loads(pickle.dumps(oracle))
+        assert clone.trees_built == 1
+        assert clone.stats()["sources_cached"] == 1
+        assert clone(0, 5) == expected
+        assert clone.trees_built == 1  # the shipped table was reused
+        clone(1, 3)  # the recreated lock supports fresh builds
+        assert clone.trees_built == 2
+
+
+class TestThreadSafety:
+    def test_concurrent_queries_build_each_source_once(self):
+        graph, algebra = _sp_instance(n=10)
+        oracle = preferred_weight_oracle(graph, algebra)
+        builds = []
+        original = oracle._build_table
+
+        def slow_build(source):
+            builds.append(source)
+            time.sleep(0.01)  # widen the race window
+            return original(source)
+
+        oracle._build_table = slow_build
+        barrier = threading.Barrier(4)
+        results = []
+
+        def query():
+            barrier.wait()
+            results.append(oracle(0, 5))
+
+        threads = [threading.Thread(target=query) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert builds == [0]  # one build despite four racing queries
+        assert len(set(results)) == 1
+        assert oracle.trees_built == 1
+
+
+class TestOracleCacheConcurrency:
+    def test_thundering_herd_builds_once(self, monkeypatch):
+        graph, algebra = _sp_instance()
+        cache = OracleCache(capacity=4)
+        built = []
+        original = simulate_mod.preferred_weight_oracle
+
+        def slow_factory(*args, **kwargs):
+            built.append(args)
+            time.sleep(0.01)  # widen the race window
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(simulate_mod, "preferred_weight_oracle",
+                            slow_factory)
+        barrier = threading.Barrier(4)
+        oracles = []
+
+        def fetch():
+            barrier.wait()
+            oracles.append(cache.get(graph, algebra))
+
+        threads = [threading.Thread(target=fetch) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(built) == 1  # exactly one construction
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 3
+        assert all(o is oracles[0] for o in oracles)
+
+    def test_attr_is_a_key_component(self):
+        """Regression: two weight attributes on one graph never alias."""
+        algebra = ShortestPath()
+        graph = ring(6)
+        for u, v, data in graph.edges(data=True):
+            data["weight"] = 1
+            data["toll"] = 5
+        cache = OracleCache(capacity=4)
+        a = cache.get(graph, algebra, attr="weight")
+        b = cache.get(graph, algebra, attr="toll")
+        assert a is not b
+        assert a.attr == "weight" and b.attr == "toll"
+        assert cache.stats()["misses"] == 2
+        assert a(0, 3) != b(0, 3)  # different attribute, different weights
+        assert cache.get(graph, algebra, attr="weight") is a  # and a hit
+
+    def test_hit_spans_carry_current_scheme(self):
+        telemetry_enable()
+        graph, algebra = _sp_instance()
+        cache = OracleCache(capacity=4)
+        cache.get(graph, algebra, scheme_name="first")
+        cache.get(graph, algebra, scheme_name="second")
+        spans = [s for s in obs_tracing.spans() if s.name == "oracle"]
+        assert len(spans) == 2
+        assert dict(spans[0].tags) == {"scheme": "first", "cache_hit": "false"}
+        assert dict(spans[1].tags) == {"scheme": "second", "cache_hit": "true"}
+
+    def test_clear_resets_everything(self):
+        graph, algebra = _sp_instance()
+        cache = OracleCache(capacity=4)
+        cache.get(graph, algebra)
+        cache.get(graph, algebra)
+        cache.clear()
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["entries"] == 0
+        assert len(cache) == 0
+
+    def test_stats_aggregates_cached_trees(self):
+        graph, algebra = _sp_instance()
+        cache = OracleCache(capacity=4)
+        oracle = cache.get(graph, algebra)
+        oracle(0, 5)
+        oracle(1, 5)
+        stats = cache.stats()
+        assert stats["trees_built"] == 2
+        assert stats["trees_requested"] == 2
+        assert stats["sources_cached"] == 2
+
+
+class TestCachedTreesAccumulate:
+    def test_trees_survive_across_evaluations(self):
+        """The cache hands back the same lazy oracle, trees included."""
+        graph, algebra = _sp_instance()
+        first = oracle_cache.get(graph, algebra)
+        first(0, 5)
+        built = first.trees_built
+        again = oracle_cache.get(graph, algebra)
+        assert again is first
+        again(0, 7)  # same source: no new build
+        assert again.trees_built == built

@@ -7,7 +7,12 @@ import pytest
 from repro.algebra.bgp import valley_free_algebra
 from repro.algebra.catalog import ShortestPath
 from repro.core.compiler import build_scheme
-from repro.core.parallel import SHARDS_PER_WORKER, evaluate_sharded, shard_pairs
+from repro.core.parallel import (
+    SHARDS_PER_WORKER,
+    evaluate_sharded,
+    shard_pairs,
+    shard_pairs_by_source,
+)
 from repro.core.simulate import (
     EvaluationOptions,
     evaluate_scheme,
@@ -64,6 +69,66 @@ class TestShardPairs:
 
     def test_single_shard_when_fewer_pairs_than_size(self):
         assert shard_pairs([(0, 1)], workers=4, shard_size=10) == [[(0, 1)]]
+
+
+class TestShardPairsBySource:
+    def test_groups_by_source_and_maps_indices(self):
+        pairs = [(0, 1), (1, 2), (0, 3), (2, 4), (1, 5), (0, 6)]
+        shards, index_lists = shard_pairs_by_source(pairs, workers=1,
+                                                    shard_size=3)
+        # Source 0's pairs land together (first group), then 1's, then 2's.
+        assert shards[0] == [(0, 1), (0, 3), (0, 6)]
+        assert index_lists[0] == [0, 2, 5]
+        for shard, indices in zip(shards, index_lists):
+            assert [pairs[i] for i in indices] == shard
+            assert indices == sorted(indices)  # increasing original order
+
+    def test_every_pair_lands_exactly_once(self):
+        rng = random.Random(11)
+        pairs = [(rng.randrange(6), rng.randrange(6)) for _ in range(40)]
+        shards, index_lists = shard_pairs_by_source(pairs, workers=3)
+        flat = sorted(i for indices in index_lists for i in indices)
+        assert flat == list(range(len(pairs)))
+        assert sum(len(s) for s in shards) == len(pairs)
+
+    def test_few_sources_per_shard(self):
+        # 4 sources x 5 targets, shard_size 5: each shard spans 1 source.
+        pairs = [(s, t) for s in range(4) for t in range(10, 15)]
+        shards, _ = shard_pairs_by_source(pairs, workers=2, shard_size=5)
+        assert len(shards) == 4
+        for shard in shards:
+            assert len({s for s, _ in shard}) == 1
+
+    def test_empty(self):
+        assert shard_pairs_by_source([], workers=4) == ([], [])
+
+
+class TestForkOracleSlicing:
+    def test_workers_build_only_their_shards_sources(self):
+        """Fork path: the merged worker telemetry counts one tree build
+        per distinct shard source, not ``n`` per worker."""
+        from repro.obs.metrics import disable, enable, registry, reset
+        from repro.obs.tracing import clear_spans
+
+        algebra = ShortestPath()
+        graph = erdos_renyi(12, rng=random.Random(21))
+        assign_random_weights(graph, algebra, rng=random.Random(22))
+        scheme = build_scheme(graph, algebra)
+        pairs = [(s, t) for s in (0, 1, 2) for t in (4, 5, 6, 7)]
+        oracle = preferred_weight_oracle(graph, algebra)
+        enable()
+        try:
+            merged = evaluate_sharded(graph, algebra, scheme, oracle, pairs,
+                                      workers=2, shard_size=4)
+            built = registry().counter("oracle.trees_built").value
+        finally:
+            disable()
+            reset()
+            clear_spans()
+        assert merged.routed == len(pairs)
+        assert built == 3
+        # Copy-on-write: worker builds never mutate the parent's oracle.
+        assert oracle.trees_built == 0
 
 
 class TestShardMergeEquivalence:

@@ -1,0 +1,133 @@
+"""Parallel evaluation under a forced ``spawn`` start method.
+
+Linux defaults to ``fork``, so CI would otherwise never exercise the
+pickle-payload worker path: the spawn initializer, the process-local
+lazy oracle (zero builds at startup, per-shard ``ensure_sources``), and
+the fall-back to serial evaluation when worker state cannot be pickled.
+``REPRO_START_METHOD=spawn`` forces that path; CI runs this module under
+the same variable as a dedicated step.
+"""
+
+import os
+import random
+
+import pytest
+
+import repro
+from repro.algebra.bgp import valley_free_algebra
+from repro.algebra.catalog import ShortestPath
+from repro.core.compiler import build_scheme
+from repro.core.parallel import START_METHOD_ENV, _start_method, evaluate_sharded
+from repro.core.simulate import (
+    EvaluationOptions,
+    evaluate_scheme,
+    oracle_cache,
+    preferred_weight_oracle,
+)
+from repro.graphs.bgp_topologies import coned_as_topology
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weighting import assign_random_weights
+from repro.obs import tracing as obs_tracing
+from repro.obs.metrics import disable as telemetry_disable
+from repro.obs.metrics import enable as telemetry_enable
+from repro.obs.metrics import registry as telemetry_registry
+from repro.obs.metrics import reset as telemetry_reset
+
+
+@pytest.fixture(autouse=True)
+def force_spawn(monkeypatch):
+    """Force the spawn start method and make repro importable in children.
+
+    Spawned workers rebuild ``sys.path`` from the parent's, but a
+    belt-and-braces ``PYTHONPATH`` keeps the suite robust when it is run
+    from an installed checkout or an unusual launcher.
+    """
+    monkeypatch.setenv(START_METHOD_ENV, "spawn")
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH")
+    monkeypatch.setenv("PYTHONPATH", src_dir + (
+        os.pathsep + existing if existing else ""))
+    oracle_cache.clear()
+    telemetry_disable()
+    telemetry_reset()
+    obs_tracing.clear_spans()
+    yield
+    oracle_cache.clear()
+    telemetry_disable()
+    telemetry_reset()
+    obs_tracing.clear_spans()
+
+
+def _sp_instance(n=16, seed=1):
+    algebra = ShortestPath()
+    graph = erdos_renyi(n, rng=random.Random(seed))
+    assign_random_weights(graph, algebra, rng=random.Random(seed + 1))
+    return graph, algebra, build_scheme(graph, algebra)
+
+
+def test_env_override_selects_spawn():
+    assert _start_method() == "spawn"
+
+
+class TestSpawnMergeExactness:
+    def test_identical_report_shortest_path(self):
+        graph, algebra, scheme = _sp_instance()
+        serial = evaluate_scheme(graph, algebra, scheme)
+        parallel = evaluate_scheme(
+            graph, algebra, scheme, options=EvaluationOptions(workers=2))
+        assert parallel == serial
+        assert parallel.failures == serial.failures
+
+    def test_identical_report_bgp(self):
+        algebra = valley_free_algebra()
+        graph = coned_as_topology(2, 3, 5, rng=random.Random(6))
+        scheme = build_scheme(graph, algebra)
+        serial = evaluate_scheme(graph, algebra, scheme)
+        parallel = evaluate_scheme(
+            graph, algebra, scheme, options=EvaluationOptions(workers=2))
+        assert parallel == serial
+
+    def test_failures_keep_serial_order(self):
+        graph, algebra, scheme = _sp_instance(seed=7)
+        scheme._next_hop[3] = {}  # sabotage one node's table
+        serial = evaluate_scheme(graph, algebra, scheme)
+        parallel = evaluate_scheme(
+            graph, algebra, scheme,
+            options=EvaluationOptions(workers=2, shard_size=20))
+        assert serial.failures
+        assert parallel.failures == serial.failures
+
+
+class TestSpawnOracleSlicing:
+    def test_workers_build_only_their_shards_sources(self):
+        """Three single-source shards: the merged telemetry shows exactly
+        three tree builds across all spawned workers — never ``n``."""
+        graph, algebra, scheme = _sp_instance(n=12)
+        pairs = [(s, t) for s in (0, 1, 2) for t in (4, 5, 6, 7)]
+        oracle = preferred_weight_oracle(graph, algebra)
+        telemetry_enable()
+        merged = evaluate_sharded(graph, algebra, scheme, oracle, pairs,
+                                  workers=2, shard_size=4)
+        assert merged.routed == len(pairs)
+        built = telemetry_registry().counter("oracle.trees_built").value
+        assert built == 3
+        # The parent's oracle is untouched: spawn workers rebuilt their own.
+        assert oracle.trees_built == 0
+
+
+class TestSpawnPickleFallback:
+    def test_unpicklable_scheme_falls_back_to_serial(self):
+        graph, algebra, scheme = _sp_instance(seed=9)
+        serial = evaluate_scheme(graph, algebra, scheme)
+        scheme._unpicklable = lambda: None  # lambdas cannot be pickled
+        telemetry_enable()
+        parallel = evaluate_scheme(
+            graph, algebra, scheme, options=EvaluationOptions(workers=2))
+        fallback = telemetry_registry().counter(
+            "parallel.fallback", reason="unpicklable").value
+        assert fallback == 1
+        telemetry_disable()
+        telemetry_reset()
+        obs_tracing.clear_spans()
+        again = evaluate_scheme(graph, algebra, scheme)
+        assert parallel == again == serial
