@@ -11,7 +11,14 @@ metric regressed by more than the tolerance (default 20%):
 * parallel ``speedup``: *lower* is worse, so the check is inverted — and
   it is only compared when both runs had enough CPUs to enforce it
   (``speedup_enforced``), since a single-core container cannot beat
-  serial no matter what the code does.
+  serial no matter what the code does;
+* path-engine work rates (any key ending in ``_per_edge``, e.g. the
+  kernel benchmark's comparisons-per-edge): higher means more work per
+  relaxation, so higher is worse;
+* the kernel benchmark's ``comparison_ratio`` (reference vs bucket
+  comparisons-per-edge): *lower* is worse, inverted like speedup — but
+  always enforced, since counting comparisons is deterministic and CPU
+  independent.
 
 Experiments present in only one summary are reported but do not fail the
 gate: CI may run a benchmark subset, and new experiments have no baseline
@@ -70,9 +77,12 @@ def tracked_metrics(payload):
         scalar = _as_scalar(value)
         if scalar is None:
             continue
-        if leaf == "loglog_slope" or leaf.endswith("_bits"):
+        if (leaf == "loglog_slope" or leaf.endswith("_bits")
+                or leaf.endswith("_per_edge")):
             metrics[path] = (scalar, +1)
         elif leaf == "speedup" and data.get("speedup_enforced"):
+            metrics[path] = (scalar, -1)
+        elif leaf == "comparison_ratio":
             metrics[path] = (scalar, -1)
     return metrics
 

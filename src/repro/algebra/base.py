@@ -212,6 +212,38 @@ class RoutingAlgebra(abc.ABC):
         return acc
 
     # ------------------------------------------------------------------
+    # integer-key capability (bucketed frontiers)
+    # ------------------------------------------------------------------
+
+    def integer_key_bound(self, max_hops: int) -> Optional[int]:
+        """Exclusive upper bound on integer comparison keys, or None.
+
+        An algebra that can embed its order into small non-negative
+        integers declares it here, unlocking the Dial-style bucketed
+        frontier in :mod:`repro.paths.kernel`.  Returning a bound ``B``
+        promises that :meth:`integer_key_fn` yields a map ``ik`` with,
+        for all weights of paths of at most *max_hops* edges:
+
+        * **order embedding** — ``w1 ⪯ w2`` iff ``ik(w1) <= ik(w2)``
+          (so algebra-equal weights share a key and vice versa);
+        * **range** — ``0 <= ik(w) < B``;
+        * **subadditivity** — ``ik(w1 ⊕ w2) <= ik(w1) + ik(w2)`` whenever
+          the combination is finite (lets the engine tighten the bucket
+          range to ``max_hops * max_edge_key + 1``).
+
+        The default declares nothing (no bucket fast path).
+        """
+        return None
+
+    def integer_key_fn(self, max_hops: int):
+        """The integer key map promised by :meth:`integer_key_bound`.
+
+        Only called when :meth:`integer_key_bound` returned a bound;
+        algebras without the capability keep the default, which raises.
+        """
+        raise AlgebraError(f"{self.name} declares no integer key embedding")
+
+    # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
 

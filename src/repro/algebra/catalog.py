@@ -66,6 +66,14 @@ class ShortestPath(RoutingAlgebra):
             delimited=True,
         )
 
+    def integer_key_bound(self, max_hops):
+        # Additive costs over edges of at most max_weight: a path of up to
+        # max_hops edges weighs at most max_hops * max_weight.
+        return max_hops * self.max_weight + 1
+
+    def integer_key_fn(self, max_hops):
+        return lambda weight: weight
+
 
 class MinHop(ShortestPath):
     """Minimum-hop routing: shortest path with unit edge weights.
@@ -121,6 +129,15 @@ class WidestPath(RoutingAlgebra):
             condensed=False,
             delimited=True,
         )
+
+    def integer_key_bound(self, max_hops):
+        # Bottleneck (min) composition never leaves the edge-weight range
+        # [1, max_capacity]; wider is preferred, so invert into [0, C-1].
+        return self.max_capacity
+
+    def integer_key_fn(self, max_hops):
+        capacity = self.max_capacity
+        return lambda weight: capacity - weight
 
 
 class MostReliablePath(RoutingAlgebra):
@@ -228,3 +245,10 @@ class UsablePath(RoutingAlgebra):
             condensed=True,
             delimited=True,
         )
+
+    def integer_key_bound(self, max_hops):
+        # Singleton weight set: every traversable path shares one key.
+        return 1
+
+    def integer_key_fn(self, max_hops):
+        return lambda weight: 0

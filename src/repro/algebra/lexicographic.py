@@ -113,6 +113,23 @@ class LexicographicProduct(RoutingAlgebra):
             self.first.declared_properties(), self.second.declared_properties()
         )
 
+    def integer_key_bound(self, max_hops):
+        # Flatten the pair order into one integer base-b2: because each
+        # component key is an order embedding and ik2 < b2, the flattened
+        # key compares exactly as the lexicographic order does, and
+        # componentwise subadditivity carries through the flattening.
+        b1 = self.first.integer_key_bound(max_hops)
+        b2 = self.second.integer_key_bound(max_hops)
+        if b1 is None or b2 is None:
+            return None
+        return b1 * b2
+
+    def integer_key_fn(self, max_hops):
+        b2 = self.second.integer_key_bound(max_hops)
+        k1 = self.first.integer_key_fn(max_hops)
+        k2 = self.second.integer_key_fn(max_hops)
+        return lambda weight: k1(weight[0]) * b2 + k2(weight[1])
+
 
 def lexicographic_chain(*algebras: RoutingAlgebra, name=None) -> "LexicographicProduct":
     """Left-folded n-ary lexicographic product ``A1 x A2 x ... x Ak``.

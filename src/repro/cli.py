@@ -287,6 +287,16 @@ def cmd_profile(args) -> int:
     finally:
         if not was_enabled:
             obs.disable()
+    from repro.paths.kernel import resolve_engine
+
+    # The path-engine view: which engine resolved, plus its run counters
+    # (relaxations / heap_pushes / stale_pops / bucket_engaged) filtered
+    # out of the merged metric snapshot.  See docs/PERFORMANCE.md.
+    path_counters = {
+        name: value
+        for name, value in snapshot["metrics"]["counters"].items()
+        if name.startswith("path_engine.")
+    }
     payload = {
         "policy": args.policy,
         "scheme": scheme.name,
@@ -297,6 +307,10 @@ def cmd_profile(args) -> int:
         },
         "phases": snapshot["spans"],
         "metrics": snapshot["metrics"],
+        "path_engine": {
+            "engine": resolve_engine(),
+            "counters": path_counters,
+        },
         "oracle": oracle_cache.stats(),
         "protocols": protocols,
         "report": obs.report_to_dict(report),

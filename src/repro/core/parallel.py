@@ -178,7 +178,8 @@ def _init_fork_worker() -> None:
 
 def _init_spawn_worker(payload: bytes, telemetry_enabled: bool) -> None:
     global _WORKER_STATE
-    graph, algebra, scheme, attr, max_k, trace_limit = pickle.loads(payload)
+    (graph, algebra, scheme, attr, max_k, trace_limit,
+     compiled) = pickle.loads(payload)
     if telemetry_enabled:
         _telemetry_enable()
     _reset_worker_telemetry()
@@ -187,6 +188,10 @@ def _init_spawn_worker(payload: bytes, telemetry_enabled: bool) -> None:
     # the sources that shard actually routes from.
     oracle = _simulate.oracle_cache.get(graph, algebra, attr=attr,
                                         scheme_name=scheme.name)
+    if compiled is not None and hasattr(oracle, "adopt_compiled"):
+        # The parent shipped its CompiledGraph (flattened from the very
+        # graph in this payload), so the worker's sweeps skip recompiling.
+        oracle.adopt_compiled(compiled)
     _WORKER_STATE = (graph, algebra, scheme, oracle, attr, max_k, trace_limit)
 
 
@@ -332,8 +337,16 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
     else:
         context = multiprocessing.get_context(method)
         try:
+            # The oracle's compiled graph rides along (sharing the graph's
+            # node objects via pickle memoization), so workers adopt the
+            # parent's flattening instead of recompiling per process.
+            compiled = None
+            compiled_getter = getattr(oracle, "compiled_graph", None)
+            if compiled_getter is not None:
+                compiled = compiled_getter()
             payload = pickle.dumps(
-                (graph, algebra, scheme, scheme.attr, max_k, trace_limit)
+                (graph, algebra, scheme, scheme.attr, max_k, trace_limit,
+                 compiled)
             )
         except Exception:
             return _serial_fallback(algebra, scheme, oracle, pairs, max_k,

@@ -111,6 +111,7 @@ class PreferredWeightOracle:
         self.trees_built = 0
         self._tables: Dict = {}
         self._enum_memo: Optional[Dict] = None
+        self._compiled = None
         self._lock = threading.Lock()
         self.engine = self._select_engine()
 
@@ -139,6 +140,47 @@ class PreferredWeightOracle:
         self._enum_memo = {}
         return "enumeration"
 
+    def _ensure_compiled(self):
+        """The shared :class:`~repro.paths.kernel.CompiledGraph`, or None.
+
+        Compiled once per oracle (under the build lock the callers hold)
+        and reused by every per-source sweep; stays None for engines that
+        don't flatten (bgp, enumeration) and under
+        ``REPRO_PATH_ENGINE=reference``.
+        """
+        if self._compiled is None:
+            from repro.paths.kernel import compile_graph, resolve_engine
+
+            if resolve_engine() == "reference":
+                return None
+            self._compiled = compile_graph(self.graph, self.attr)
+        return self._compiled
+
+    def compiled_graph(self):
+        """The oracle's compiled graph for shipping to spawn workers.
+
+        Returns None when the engine never flattens the graph, or when
+        the reference path engine is forced.
+        """
+        if self.engine not in ("dijkstra", "shortest-widest"):
+            return None
+        with self._lock:
+            return self._ensure_compiled()
+
+    def adopt_compiled(self, compiled) -> None:
+        """Install a pre-built compiled graph (spawn workers call this).
+
+        The caller vouches that *compiled* was flattened from an
+        identical graph and the same weight attribute — the parallel
+        engine ships the parent oracle's own compiled graph alongside
+        the pickled graph it was compiled from.
+        """
+        if compiled is None or compiled.attr != self.attr:
+            return
+        with self._lock:
+            if self._compiled is None:
+                self._compiled = compiled
+
     def _build_table(self, source) -> Dict:
         """target -> preferred weight, from one per-source engine run."""
         if self.engine == "bgp":
@@ -149,12 +191,14 @@ class PreferredWeightOracle:
         if self.engine == "shortest-widest":
             from repro.paths.shortest_widest import shortest_widest_routes
 
-            routes = shortest_widest_routes(self.graph, source, attr=self.attr)
+            routes = shortest_widest_routes(self.graph, source, attr=self.attr,
+                                            compiled=self._ensure_compiled())
             return {t: route.weight for t, route in routes.items()}
         from repro.paths.dijkstra import preferred_path_tree
 
         return preferred_path_tree(self.graph, self.algebra, source,
-                                   attr=self.attr).weight
+                                   attr=self.attr,
+                                   compiled=self._ensure_compiled()).weight
 
     def _table_for(self, source) -> Dict:
         table = self._tables.get(source)
@@ -201,8 +245,11 @@ class PreferredWeightOracle:
         return self._table_for(s).get(t, PHI)
 
     def stats(self) -> dict:
+        from repro.paths.kernel import resolve_engine
+
         return {
             "engine": self.engine,
+            "path_engine": resolve_engine(),
             "sources_cached": len(self._tables),
             "trees_requested": self.trees_requested,
             "trees_built": self.trees_built,

@@ -6,6 +6,15 @@ from repro.paths.dijkstra import (
     all_pairs_preferred_weights,
     preferred_path_tree,
 )
+from repro.paths.kernel import (
+    ENGINE_ENV,
+    CompiledGraph,
+    KernelStats,
+    compile_graph,
+    kernel_tree,
+    node_ranks,
+    resolve_engine,
+)
 from repro.paths.enumerate import (
     PreferredPath,
     all_preferred_by_enumeration,
@@ -36,6 +45,13 @@ __all__ = [
     "PathTree",
     "all_pairs_preferred_weights",
     "preferred_path_tree",
+    "ENGINE_ENV",
+    "CompiledGraph",
+    "KernelStats",
+    "compile_graph",
+    "kernel_tree",
+    "node_ranks",
+    "resolve_engine",
     "PreferredPath",
     "all_preferred_by_enumeration",
     "preferred_by_enumeration",

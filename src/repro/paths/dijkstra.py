@@ -11,6 +11,17 @@ never improves it) and isotonicity guarantees that settled labels are
 final.  The implementation refuses algebras *declared* non-isotone unless
 ``unsafe=True``; for undeclared algebras it proceeds (callers can validate
 results against :mod:`repro.paths.enumerate` on small instances).
+
+Two engines produce the (bit-identical) result:
+
+* the **compiled kernel** (:mod:`repro.paths.kernel`, the default) runs
+  over CSR-flattened arrays and engages a Dial-style bucketed frontier
+  when the algebra declares an integer key embedding;
+* the **reference** engine below walks the networkx adjacency dicts with
+  a ``_HeapEntry`` heap — the seed implementation, kept as the semantics
+  referee and selectable with ``REPRO_PATH_ENGINE=reference``.
+
+See ``docs/PERFORMANCE.md`` for the selection rules and counters.
 """
 
 from __future__ import annotations
@@ -23,6 +34,15 @@ from typing import Dict, Optional
 from repro.algebra.base import PHI, RoutingAlgebra, Weight, is_phi
 from repro.exceptions import AlgebraError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.paths.kernel import (  # noqa: F401  (re-exported for compat)
+    CompiledGraph,
+    KernelStats,
+    _HeapEntry,
+    compile_graph,
+    emit_stats,
+    kernel_tree,
+    resolve_engine,
+)
 
 
 @dataclass(frozen=True)
@@ -56,39 +76,21 @@ class PathTree:
         return set(self.weight)
 
 
-class _HeapEntry:
-    """Adapter giving heapq a strict order over algebra weights.
-
-    The algebra's memoized ``comparison_key`` is applied once per push, so
-    every heap sift compares precomputed key objects (one ``cmp`` call, at
-    most two ``leq`` evaluations) instead of re-deriving the order from the
-    raw weights.  Ties in ⪯ break on the insertion counter, keeping the pop
-    order deterministic.
-    """
-
-    __slots__ = ("key", "counter", "node", "weight")
-
-    def __init__(self, key, weight, counter, node):
-        self.key = key
-        self.weight = weight
-        self.counter = counter
-        self.node = node
-
-    def __lt__(self, other):
-        if self.key < other.key:
-            return True
-        if other.key < self.key:
-            return False
-        return self.counter < other.counter
-
-
 def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT_ATTR,
-                        unsafe: bool = False) -> PathTree:
+                        unsafe: bool = False, *, engine: Optional[str] = None,
+                        compiled: Optional[CompiledGraph] = None) -> PathTree:
     """Run generalized Dijkstra from *root*; returns a :class:`PathTree`.
 
     Works on undirected graphs (and digraphs, following out-edges).  For
     right-associative algebras use :mod:`repro.paths.valley_free` instead —
     path-vector composition does not grow from the source side.
+
+    *engine* forces a path engine (``kernel``, ``kernel-heap``,
+    ``reference``); by default the ``REPRO_PATH_ENGINE`` environment
+    override applies, falling back to the compiled kernel.  Pass a
+    pre-built *compiled* graph (from :func:`compile_graph`) to amortize
+    flattening across per-source runs — mandatory hygiene for all-pairs
+    sweeps; single-shot callers can omit it.
     """
     if algebra.is_right_associative:
         raise AlgebraError(
@@ -101,9 +103,26 @@ def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT
             f"monotone={declared.monotone}, isotone={declared.isotone} "
             f"(pass unsafe=True to force)"
         )
-    if root not in graph:
+    resolved = resolve_engine(engine)
+    if resolved == "reference" and compiled is None:
+        if root not in graph:
+            raise AlgebraError(f"root {root!r} not in graph")
+        return _reference_tree(graph, algebra, root, attr)
+    if compiled is None:
+        compiled = compile_graph(graph, attr)
+    elif compiled.attr != attr:
+        raise ValueError(
+            f"compiled graph flattened attr {compiled.attr!r}, requested {attr!r}"
+        )
+    if root not in compiled.node_index:
         raise AlgebraError(f"root {root!r} not in graph")
+    run = kernel_tree(compiled, algebra, root, buckets=(resolved == "kernel"))
+    emit_stats(run.stats)
+    return PathTree(root, run.weight, run.parent)
 
+
+def _reference_tree(graph, algebra: RoutingAlgebra, root, attr: str) -> PathTree:
+    """The seed engine: adjacency-dict walk with a ``_HeapEntry`` heap."""
     neighbors = graph.neighbors if not graph.is_directed() else graph.successors
     weight: Dict[object, Weight] = {}
     parent: Dict[object, object] = {}
@@ -111,6 +130,9 @@ def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT
     counter = itertools.count()
     heap = []
     keyfn = algebra.comparison_key()
+    relaxations = 0
+    pushes = 0
+    stale = 0
 
     # Seed with the root's incident edges: the empty path has no weight
     # (semigroups lack an identity), so distances start at one edge.
@@ -119,15 +141,18 @@ def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT
         w = graph[root][v][attr]
         if is_phi(w):
             continue
+        relaxations += 1
         if v not in weight or algebra.lt(w, weight[v]):
             weight[v] = w
             parent[v] = root
             heapq.heappush(heap, _HeapEntry(keyfn(w), w, next(counter), v))
+            pushes += 1
 
     while heap:
         entry = heapq.heappop(heap)
         u = entry.node
         if u in settled or not algebra.eq(entry.weight, weight.get(u, PHI)):
+            stale += 1
             continue
         settled.add(u)
         for v in neighbors(u):
@@ -136,6 +161,7 @@ def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT
             edge_weight = graph[u][v][attr]
             if is_phi(edge_weight):
                 continue
+            relaxations += 1
             candidate = algebra.combine(weight[u], edge_weight)
             if is_phi(candidate):
                 continue
@@ -144,21 +170,31 @@ def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT
                 parent[v] = u
                 heapq.heappush(
                     heap, _HeapEntry(keyfn(candidate), candidate, next(counter), v))
+                pushes += 1
 
+    emit_stats(KernelStats(engine="reference", relaxations=relaxations,
+                           frontier_pushes=pushes, stale_pops=stale,
+                           bucket_engaged=False))
     return PathTree(root, weight, parent)
 
 
 def all_pairs_preferred_weights(graph, algebra: RoutingAlgebra, attr: str = WEIGHT_ATTR,
-                                unsafe: bool = False) -> Dict[object, PathTree]:
+                                unsafe: bool = False, *,
+                                engine: Optional[str] = None) -> Dict[object, PathTree]:
     """Preferred path trees from every node (n runs of generalized Dijkstra).
 
     Eager by design: use it when every tree is genuinely needed (e.g.
-    materializing a full routing table).  Evaluation workloads that touch
+    materializing a full routing table).  The graph is compiled once and
+    shared across the per-source runs.  Evaluation workloads that touch
     only some sources should go through the lazy
     :class:`repro.core.simulate.PreferredWeightOracle` instead, which
     builds per-source trees on first query.
     """
+    compiled = None
+    if resolve_engine(engine) != "reference":
+        compiled = compile_graph(graph, attr)
     return {
-        node: preferred_path_tree(graph, algebra, node, attr=attr, unsafe=unsafe)
+        node: preferred_path_tree(graph, algebra, node, attr=attr, unsafe=unsafe,
+                                  engine=engine, compiled=compiled)
         for node in graph.nodes()
     }

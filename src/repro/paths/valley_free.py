@@ -20,6 +20,7 @@ B4 (= B3 refined by path length, with arc weights ``(label, cost)``).
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -27,6 +28,7 @@ from repro.algebra.base import is_phi
 from repro.algebra.bgp import BGPAlgebra, valley_free_algebra
 from repro.exceptions import AlgebraError
 from repro.graphs.weighting import WEIGHT_ATTR
+from repro.paths.kernel import node_ranks
 
 
 @dataclass(frozen=True)
@@ -81,6 +83,12 @@ def bgp_routes(digraph, algebra: BGPAlgebra, source, attr: str = WEIGHT_ATTR
     _check_prefix_stable(algebra)
     ranks = algebra.ranks
     table = algebra.table
+    # Heap ties on cost break by (node rank, labels) then insertion
+    # counter instead of comparing raw state tuples: same pop order for
+    # mutually comparable node sets, deterministic (no TypeError) for
+    # heterogeneous ones.
+    by_node = node_ranks(digraph.nodes())
+    counter = itertools.count()
 
     # state = (node, last_label, first_label)
     dist: Dict[Tuple, int] = {}
@@ -95,10 +103,12 @@ def bgp_routes(digraph, algebra: BGPAlgebra, source, attr: str = WEIGHT_ATTR
         if state not in dist or cost < dist[state]:
             dist[state] = cost
             parent[state] = None
-            heapq.heappush(heap, (cost, state))
+            heapq.heappush(
+                heap,
+                (cost, (by_node[v], label, label), next(counter), state))
     settled = set()
     while heap:
-        cost, state = heapq.heappop(heap)
+        cost, _, _, state = heapq.heappop(heap)
         if state in settled or cost > dist[state]:
             continue
         settled.add(state)
@@ -112,7 +122,10 @@ def bgp_routes(digraph, algebra: BGPAlgebra, source, attr: str = WEIGHT_ATTR
             if candidate not in dist or new_cost < dist[candidate]:
                 dist[candidate] = new_cost
                 parent[candidate] = state
-                heapq.heappush(heap, (new_cost, candidate))
+                heapq.heappush(
+                    heap,
+                    (new_cost, (by_node[nxt], label, first), next(counter),
+                     candidate))
 
     routes: Dict[object, BGPRoute] = {}
     for state, cost in dist.items():
@@ -121,15 +134,18 @@ def bgp_routes(digraph, algebra: BGPAlgebra, source, attr: str = WEIGHT_ATTR
             continue
         path = _reconstruct(source, state, parent)
         current = routes.get(node)
-        if current is None or _route_key(ranks, first, cost, path) < _route_key(
-            ranks, current.label, current.cost, current.path
+        if current is None or _route_key(ranks, by_node, first, cost, path) < _route_key(
+            ranks, by_node, current.label, current.cost, current.path
         ):
             routes[node] = BGPRoute(source, node, first, cost, path)
     return routes
 
 
-def _route_key(ranks, label, cost, path):
-    return (ranks[label], cost, tuple(path))
+def _route_key(ranks, by_node, label, cost, path):
+    # Paths compare by node rank, not by node object, so heterogeneous
+    # node sets stay comparable (same order as the raw tuple when nodes
+    # are mutually comparable).
+    return (ranks[label], cost, tuple(by_node[node] for node in path))
 
 
 def _reconstruct(source, state, parent) -> Tuple:

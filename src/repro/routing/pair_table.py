@@ -28,13 +28,23 @@ PathOracle = Callable[[object], Dict[object, Iterable]]
 
 
 def shortest_widest_oracle(graph, attr: str = WEIGHT_ATTR) -> PathOracle:
-    """Oracle built on the exact SW solver of :mod:`repro.paths.shortest_widest`."""
+    """Oracle built on the exact SW solver of :mod:`repro.paths.shortest_widest`.
+
+    The graph is flattened once here and shared by every per-source solver
+    run the oracle serves (all n of them when a pair table is built).
+    """
+    from repro.paths.kernel import compile_graph, resolve_engine
     from repro.paths.shortest_widest import shortest_widest_routes
+
+    compiled = None
+    if resolve_engine() != "reference":
+        compiled = compile_graph(graph, attr)
 
     def oracle(source):
         return {
             target: route.path
-            for target, route in shortest_widest_routes(graph, source, attr=attr).items()
+            for target, route in shortest_widest_routes(
+                graph, source, attr=attr, compiled=compiled).items()
         }
 
     return oracle

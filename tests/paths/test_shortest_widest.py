@@ -91,3 +91,66 @@ class TestAllPairs:
         routes = all_pairs_shortest_widest(graph)
         assert len(routes) == 6
         assert all(len(r) == 5 for r in routes.values())
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_compiled_matches_reference(self, algebra, seed, monkeypatch):
+        from repro.paths.kernel import ENGINE_ENV, compile_graph
+
+        rng = random.Random(seed)
+        graph = erdos_renyi(10, p=0.4, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        compiled = compile_graph(graph)
+        for source in graph.nodes():
+            monkeypatch.setenv(ENGINE_ENV, "reference")
+            reference = shortest_widest_routes(graph, source)
+            monkeypatch.delenv(ENGINE_ENV)
+            via_compiled = shortest_widest_routes(graph, source,
+                                                  compiled=compiled)
+            assert reference == via_compiled
+            assert list(reference) == list(via_compiled)  # insertion order
+
+    def test_bottlenecks_identical_across_engines(self, algebra, monkeypatch):
+        from repro.paths.kernel import ENGINE_ENV
+
+        rng = random.Random(6)
+        graph = erdos_renyi(12, p=0.35, rng=rng)
+        assign_random_weights(graph, algebra, rng=rng)
+        monkeypatch.setenv(ENGINE_ENV, "reference")
+        reference = widest_bottlenecks(graph, 0)
+        monkeypatch.delenv(ENGINE_ENV)
+        compiled = widest_bottlenecks(graph, 0)
+        assert reference == compiled
+        assert list(reference) == list(compiled)
+
+
+class TestHeterogeneousNodes:
+    def test_mixed_node_types_do_not_raise(self, monkeypatch):
+        """Weight ties used to fall through to comparing raw node objects
+        in the heap; int-vs-str nodes then raised TypeError."""
+        from repro.paths.kernel import ENGINE_ENV
+
+        g = nx.Graph()
+        # equal weights everywhere force heap ties between 1 and "b"
+        g.add_edge(0, 1, weight=(5, 1))
+        g.add_edge(0, "b", weight=(5, 1))
+        g.add_edge(1, "target", weight=(5, 1))
+        g.add_edge("b", "target", weight=(5, 1))
+        for engine in ("kernel", "reference"):
+            monkeypatch.setenv(ENGINE_ENV, engine)
+            routes = shortest_widest_routes(g, 0)
+            assert routes["target"].weight == (5, 2)
+            assert routes["target"].path in ((0, 1, "target"), (0, "b", "target"))
+
+    def test_mixed_node_types_are_deterministic(self, monkeypatch):
+        from repro.paths.kernel import ENGINE_ENV
+
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=(5, 1))
+        g.add_edge(0, "b", weight=(5, 1))
+        g.add_edge(1, "target", weight=(5, 1))
+        g.add_edge("b", "target", weight=(5, 1))
+        monkeypatch.setenv(ENGINE_ENV, "kernel")
+        first = shortest_widest_routes(g, 0)
+        assert first == shortest_widest_routes(g, 0)

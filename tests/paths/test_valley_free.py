@@ -145,6 +145,35 @@ class TestAllPairs:
         assert all(len(per_source) == n - 1 for per_source in routes.values())
 
 
+class TestHeterogeneousNodes:
+    def test_mixed_node_types_do_not_raise(self):
+        """Cost ties used to compare raw (node, label, label) state tuples
+        in the heap, which raises TypeError for int-vs-str nodes; ties now
+        break on deterministic node ranks plus an insertion counter."""
+        g = nx.DiGraph()
+        add_relationship(g, 1, 0)
+        add_relationship(g, "stub", 0)
+        add_relationship(g, 2, 1)
+        add_relationship(g, 2, "stub")
+        algebra = valley_free_algebra()
+        routes = bgp_routes(g, algebra, 2)
+        assert set(routes) == {0, 1, "stub"}
+        assert bgp_routes(g, algebra, 2) == routes  # deterministic
+
+    def test_route_selection_ties_stay_deterministic(self):
+        # two equal-rank equal-cost paths 0 -> 3: the selected path must be
+        # stable across runs (rank-based path comparison, not object order)
+        g = nx.DiGraph()
+        add_relationship(g, 1, 0)
+        add_relationship(g, 2, 0)
+        add_relationship(g, 3, 1)
+        add_relationship(g, 3, 2)
+        algebra = valley_free_algebra()
+        first = bgp_routes(g, algebra, 0)
+        assert first[3].path == (0, 1, 3)  # node-rank order prefers via 1
+        assert bgp_routes(g, algebra, 0) == first
+
+
 class TestPrefixStabilityGuard:
     def test_non_prefix_stable_table_rejected(self):
         bad = BGPAlgebra(
