@@ -18,18 +18,30 @@ metric regressed by more than the tolerance (default 20%):
 * the kernel benchmark's ``comparison_ratio`` (reference vs bucket
   comparisons-per-edge): *lower* is worse, inverted like speedup — but
   always enforced, since counting comparisons is deterministic and CPU
-  independent.
+  independent;
+* telemetry overhead budgets (any key ending in ``_overhead_pct``, e.g.
+  the event-stream benchmark's disabled-path cost): higher means the
+  instrumentation eats more of the hot loop.  The baseline entry holds
+  the *budget* (the benchmark's own assertion bar), not a measured
+  sample, so the gate trips only when a measurement blows through the
+  bar plus tolerance.
 
 Experiments present in only one summary are reported but do not fail the
 gate: CI may run a benchmark subset, and new experiments have no baseline
 yet.  Exits 0 on success, 1 on regression, 2 when nothing was comparable
 (almost certainly a misconfiguration).
 
+Every invocation also appends one timestamped snapshot of the compared
+metrics to ``benchmarks/BENCH_trajectory.json`` (disable with
+``--no-trajectory``), giving the repo a cheap longitudinal record of how
+each tracked number moves across runs.
+
 Usage::
 
     python benchmarks/compare_baseline.py [--tolerance 0.2]
         [--current benchmarks/results/summary.json]
         [--baseline benchmarks/baseline/summary.json]
+        [--trajectory benchmarks/BENCH_trajectory.json | --no-trajectory]
 """
 
 import argparse
@@ -40,6 +52,7 @@ import sys
 HERE = os.path.dirname(os.path.abspath(__file__))
 DEFAULT_CURRENT = os.path.join(HERE, "results", "summary.json")
 DEFAULT_BASELINE = os.path.join(HERE, "baseline", "summary.json")
+DEFAULT_TRAJECTORY = os.path.join(HERE, "BENCH_trajectory.json")
 
 
 def _walk(data, path=""):
@@ -78,7 +91,8 @@ def tracked_metrics(payload):
         if scalar is None:
             continue
         if (leaf == "loglog_slope" or leaf.endswith("_bits")
-                or leaf.endswith("_per_edge")):
+                or leaf.endswith("_per_edge")
+                or leaf.endswith("_overhead_pct")):
             metrics[path] = (scalar, +1)
         elif leaf == "speedup" and data.get("speedup_enforced"):
             metrics[path] = (scalar, -1)
@@ -116,6 +130,43 @@ def compare(baseline, current, tolerance):
     return compared, regressions, notes
 
 
+def append_trajectory(path, current, compared, regressions, tolerance):
+    """Append one timestamped snapshot of this run to the trajectory file.
+
+    The file holds ``{"version": 1, "runs": [...]}``; each run carries the
+    compared metric values keyed ``experiment:metric.path`` plus which of
+    them regressed.  Corrupt or legacy files are restarted rather than
+    crashed on — the trajectory is a convenience log, not a gate.
+    """
+    import datetime
+
+    doc = {"version": 1, "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"),
+                                                       list):
+                doc = loaded
+        except (OSError, ValueError):
+            pass
+    doc["runs"].append({
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
+        "experiment_count": len(current.get("experiments", {})),
+        "tolerance": tolerance,
+        "metrics": {f"{name}:{metric}": cur
+                    for name, metric, _base, cur, _change in compared},
+        "regressed": [f"{name}:{metric}"
+                      for name, metric, _base, _cur, _change in regressions],
+    })
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="fail when benchmark metrics regress past the baseline")
@@ -123,6 +174,11 @@ def main(argv=None):
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed relative regression (default 0.2 = 20%%)")
+    parser.add_argument("--trajectory", default=DEFAULT_TRAJECTORY,
+                        help="per-run snapshot log "
+                             "(default benchmarks/BENCH_trajectory.json)")
+    parser.add_argument("--no-trajectory", action="store_true",
+                        help="skip appending this run to the trajectory log")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as handle:
@@ -131,6 +187,10 @@ def main(argv=None):
         current = json.load(handle)
 
     compared, regressions, notes = compare(baseline, current, args.tolerance)
+
+    if not args.no_trajectory:
+        append_trajectory(args.trajectory, current, compared, regressions,
+                          args.tolerance)
 
     for note in notes:
         print(f"note: {note}")

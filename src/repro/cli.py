@@ -9,11 +9,17 @@ Commands:
   the hop-by-hop packet event log, ``--json`` emits the machine-readable
   report);
 * ``evaluate <policy>`` — the :func:`repro.run_experiment` facade:
-  build + evaluate under one seed, with ``--pairs N`` sampling and
-  ``--workers N`` sharded parallel evaluation;
+  build + evaluate under one seed, with ``--pairs N`` sampling,
+  ``--workers N`` sharded parallel evaluation, a live progress line on a
+  TTY (``--progress``/``--quiet``, ``REPRO_NO_PROGRESS``) and
+  ``--record-run DIR`` durable run manifests;
 * ``profile <policy>`` — run the full pipeline with telemetry enabled and
   dump phase timers, metrics and protocol message counts as JSON
-  (``--workers N`` parallelizes the pair evaluation);
+  (``--workers N`` parallelizes the pair evaluation; the same
+  progress/recording flags as ``evaluate``);
+* ``report <dir>`` — render a run recorded with ``--record-run``:
+  phase tree, per-shard timeline with heartbeats and stragglers,
+  fallback causes, counters;
 * ``scale <policy>`` — measure per-node table bits over growing n and fit
   the scaling class (the Table 1 experiment for one policy);
 * ``table1`` — the full six-row Table 1 reproduction;
@@ -29,6 +35,8 @@ Examples::
     python -m repro route shortest-path --n 64 --topology barabasi-albert --compact
     python -m repro route widest-path --n 32 --trace
     python -m repro evaluate shortest-path --n 400 --topology waxman --workers 4
+    python -m repro evaluate shortest-path --n 400 --workers 4 --record-run runs/r1
+    python -m repro report runs/r1
     python -m repro profile widest-path --n 64
     python -m repro scale shortest-widest-path --sizes 16,24,32
 
@@ -39,10 +47,15 @@ status — never a traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
+import time
+from typing import Optional
 
 import repro.obs as obs
+from repro.obs import events as obs_events
+from repro.obs import progress as obs_progress
 from repro.algebra import (
     MostReliablePath,
     prefer_customer_algebra,
@@ -205,6 +218,119 @@ def cmd_route(args) -> int:
     return 1 if report.failures else 0
 
 
+class _RunTelemetry:
+    """Live progress + durable run recording around one CLI experiment.
+
+    Activated when the user asked for live progress (``--progress``, or a
+    TTY without ``--quiet``/``--json``/``REPRO_NO_PROGRESS``) or for a
+    durable record (``--record-run DIR``).  Either way the run-event
+    stream (and full telemetry, which the manifest snapshots) is switched
+    on for the duration of the command and restored afterwards; a
+    ``run_started``/``run_finished`` pair brackets the experiment.
+    """
+
+    def __init__(self, command: str, args, total_pairs: Optional[int],
+                 config: dict, reset: bool = True):
+        self.command = command
+        self.config = config
+        self.total_pairs = total_pairs
+        self.record_dir = getattr(args, "record_run", None)
+        json_mode = bool(getattr(args, "json", False))
+        show = obs_progress.should_show_progress(
+            progress=getattr(args, "progress", False),
+            quiet=getattr(args, "quiet", False),
+            json_mode=json_mode, stream=sys.stderr)
+        self.active = bool(self.record_dir) or show
+        self.renderer = None
+        self.started_at = time.time()
+        if not self.active:
+            return
+        self._was_obs = obs.enabled()
+        self._was_events = obs_events.enabled()
+        obs.enable()
+        obs_events.enable()
+        if reset:
+            obs.reset_all()
+        if show:
+            self.renderer = obs_progress.ProgressRenderer(
+                sys.stderr, total_pairs=total_pairs, label=command)
+            obs_events.set_live_consumer(self.renderer.handle)
+        obs_events.emit("run_started", command=command,
+                        pairs_total=total_pairs,
+                        **{key: value for key, value in config.items()
+                           if isinstance(value, (str, int, float))})
+
+    def abort(self) -> None:
+        """Tear down renderer and enable-flags without writing a manifest."""
+        if not self.active:
+            return
+        if self.renderer is not None:
+            obs_events.set_live_consumer(None)
+            self.renderer.close()
+            self.renderer = None
+        if not self._was_events:
+            obs_events.disable()
+            obs_events.clear_events()
+        if not self._was_obs:
+            obs.disable()
+        self.active = False
+
+    def finish(self, report=None) -> None:
+        """Close the run: final event, manifest + event log, restore state."""
+        if not self.active:
+            return
+        from repro.core import parallel as _parallel
+        from repro.paths.kernel import resolve_engine
+
+        finished_at = time.time()
+        data = {}
+        if report is not None:
+            data = {"pairs": report.pairs, "delivered": report.delivered,
+                    "optimal": report.optimal}
+        obs_events.emit("run_finished",
+                        duration_s=finished_at - self.started_at, **data)
+        if self.renderer is not None:
+            obs_events.set_live_consumer(None)
+            self.renderer.close()
+            self.renderer = None
+        if self.record_dir:
+            run_info = _parallel.last_run_info()
+            engine = {
+                "start_method": run_info.start_method if run_info else "serial",
+                "path_engine": resolve_engine(),
+                "workers": run_info.workers if run_info else 0,
+            }
+            snapshot = obs.telemetry_snapshot(include_spans=True)
+            manifest = obs_events.build_manifest(
+                command=self.command, config=self.config, engine=engine,
+                started_at=self.started_at, finished_at=finished_at,
+                shards=run_info.shards if run_info else [],
+                stragglers=run_info.stragglers if run_info else {},
+                counters=snapshot["metrics"],
+                spans=snapshot["spans"],
+                report=obs.report_to_dict(report) if report is not None else None,
+            )
+            manifest_path, events_path = obs_events.write_run(self.record_dir,
+                                                              manifest)
+            print(f"recorded run -> {manifest_path} + {events_path}",
+                  file=sys.stderr)
+        if not self._was_events:
+            obs_events.disable()
+            obs_events.clear_events()
+        if not self._was_obs:
+            obs.disable()
+        self.active = False
+
+
+def _print_fallback_cause() -> None:
+    """One line on why the parallel engine reverted to serial, if it did."""
+    from repro.core import parallel as _parallel
+
+    fallback = _parallel.last_fallback()
+    if fallback is not None:
+        print(fallback.summary())
+
+
 def cmd_evaluate(args) -> int:
     """The one-call experiment facade: build + evaluate under one seed."""
     algebra, is_bgp = _policy(args.policy)
@@ -216,8 +342,21 @@ def cmd_evaluate(args) -> int:
         shard_size=args.shard_size,
         rng=args.seed + 1,
     )
-    result = run_experiment(graph, algebra, mode=mode, options=options)
-    report = result.report
+    n = graph.number_of_nodes()
+    total_pairs = args.pairs if args.pairs is not None else n * (n - 1)
+    run_ui = _RunTelemetry("evaluate", args, total_pairs, {
+        "policy": args.policy, "topology": args.topology, "n": n,
+        "m": graph.number_of_edges(), "seed": args.seed,
+        "pairs": total_pairs, "workers": args.workers or 0,
+        "mode": mode,
+    })
+    try:
+        result = run_experiment(graph, algebra, mode=mode, options=options)
+        report = result.report
+    except BaseException:
+        run_ui.abort()
+        raise
+    run_ui.finish(report)
     if args.json:
         payload = {
             "policy": args.policy,
@@ -238,6 +377,7 @@ def cmd_evaluate(args) -> int:
     else:
         print(f"topology: n={graph.number_of_nodes()} m={graph.number_of_edges()}")
         print(report.summary())
+        _print_fallback_cause()
         stats = oracle_cache.stats()
         print(f"oracle: {stats['trees_built']}/{graph.number_of_nodes()} "
               f"source trees built ({stats['trees_requested']} lookups)")
@@ -252,9 +392,16 @@ def cmd_profile(args) -> int:
     was_enabled = obs.enabled()
     obs.enable()
     obs.reset_all()
+    run_ui = None
     try:
         graph = _topology(algebra, is_bgp, args.topology, args.n, args.seed)
         mode = "compact" if args.compact else "auto"
+        n = graph.number_of_nodes()
+        run_ui = _RunTelemetry("profile", args, n * (n - 1), {
+            "policy": args.policy, "topology": args.topology, "n": n,
+            "m": graph.number_of_edges(), "seed": args.seed,
+            "workers": args.workers or 0, "mode": mode,
+        }, reset=False)
         scheme = build_scheme(graph, algebra, mode=mode,
                               rng=random.Random(args.seed + 1))
         report = evaluate_scheme(
@@ -262,6 +409,8 @@ def cmd_profile(args) -> int:
             options=EvaluationOptions(trace_limit=args.trace_limit,
                                       workers=args.workers),
         )
+        run_ui.finish(report)
+        run_ui = None
 
         # Protocol simulations on a copy (fail_edge and friends mutate), so
         # the profile also carries message/convergence accounting.
@@ -285,6 +434,8 @@ def cmd_profile(args) -> int:
 
         snapshot = obs.telemetry_snapshot()
     finally:
+        if run_ui is not None:
+            run_ui.abort()
         if not was_enabled:
             obs.disable()
     from repro.paths.kernel import resolve_engine
@@ -321,6 +472,20 @@ def cmd_profile(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render a recorded run (``--record-run DIR``) as a human report."""
+    try:
+        run = obs_events.read_run(args.run)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"error: no run manifest under {args.run!r} "
+            f"(expected {obs_events.MANIFEST_FILE}; record one with "
+            f"'repro evaluate ... --record-run {args.run}')"
+        )
+    print(obs_progress.render_run_report(run["manifest"], run["events"]))
     return 0
 
 
@@ -388,6 +553,16 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    """Shared live-telemetry flags for the experiment-running subcommands."""
+    parser.add_argument("--progress", action="store_true",
+                        help="force the live progress line even without a TTY")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the live progress line")
+    parser.add_argument("--record-run", metavar="DIR", default=None,
+                        help="write a run manifest + event log to DIR")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Compact policy routing — paper reproduction CLI"
@@ -438,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_evaluate.add_argument("--json", action="store_true",
                             help="emit the report as JSON instead of text")
     p_evaluate.add_argument("--seed", type=int, default=0)
+    _add_telemetry_options(p_evaluate)
     p_evaluate.set_defaults(func=cmd_evaluate)
 
     p_profile = sub.add_parser(
@@ -454,7 +630,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--output", default=None,
                            help="write the JSON document here instead of stdout")
     p_profile.add_argument("--seed", type=int, default=0)
+    _add_telemetry_options(p_profile)
     p_profile.set_defaults(func=cmd_profile)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a recorded run directory (manifest + event log)",
+    )
+    p_report.add_argument("run", help="run directory written by --record-run")
+    p_report.set_defaults(func=cmd_report)
 
     p_scale = sub.add_parser("scale", help="fit the memory scaling class")
     p_scale.add_argument("policy")
@@ -499,6 +683,12 @@ def main(argv=None) -> int:
         # traceback for every subcommand.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # `repro report run/ | head` closes stdout early; exit quietly the
+        # way coreutils do instead of dumping a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -53,12 +53,17 @@ import math
 import multiprocessing
 import os
 import pickle
+import queue as _queue_mod
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import simulate as _simulate
 from repro.core.simulate import ShardResult, route_shard
+from repro.obs import events as _events
 from repro.obs import tracing as _tracing
 from repro.obs.metrics import (
     enable as _telemetry_enable,
@@ -75,6 +80,48 @@ SHARDS_PER_WORKER = 4
 
 #: Environment variable forcing the pool start method (fork/spawn/forkserver).
 START_METHOD_ENV = "REPRO_START_METHOD"
+
+
+@dataclass
+class FallbackInfo:
+    """Why the parallel engine reverted to serial, with the actual cause."""
+
+    reason: str        # "unpicklable" | "pool-failure"
+    cause: str         # repr of the triggering exception
+
+    def summary(self) -> str:
+        return f"parallel fallback ({self.reason}): {self.cause}"
+
+
+@dataclass
+class ParallelRunInfo:
+    """What the last ``evaluate_sharded`` call did, for manifests/reports.
+
+    ``shards`` holds one JSON-ready dict per shard (id, pid, pairs,
+    sources, wall-clock start, duration, routed count, straggler flag);
+    ``stragglers`` the detection outcome over those durations.  Reset at
+    the start of every parallel run, so the CLI reads the state of the
+    run it just performed.
+    """
+
+    start_method: Optional[str] = None
+    workers: int = 0
+    shards: List[Dict] = field(default_factory=list)
+    stragglers: Dict = field(default_factory=dict)
+    fallback: Optional[FallbackInfo] = None
+
+
+_LAST_RUN: Optional[ParallelRunInfo] = None
+
+
+def last_run_info() -> Optional[ParallelRunInfo]:
+    """Shard table and straggler outcome of the most recent parallel run."""
+    return _LAST_RUN
+
+
+def last_fallback() -> Optional[FallbackInfo]:
+    """The fallback (reason + cause) of the most recent parallel run, if any."""
+    return _LAST_RUN.fallback if _LAST_RUN is not None else None
 
 
 def shard_pairs(pairs: Sequence[Tuple], workers: int,
@@ -160,29 +207,34 @@ def _start_method() -> Optional[str]:
 _WORKER_STATE = None
 
 
-def _reset_worker_telemetry() -> None:
+def _reset_worker_telemetry(live_queue=None) -> None:
     """Fresh telemetry in a new worker: drop state inherited from the parent.
 
-    A forked child starts with a copy of the parent's registry, span log
-    and any active trace capture; merging those back would double-count,
-    so the worker starts empty and captures traces into its own buffer.
+    A forked child starts with a copy of the parent's registry, span log,
+    event log and any active trace capture; merging those back would
+    double-count, so the worker starts empty and captures traces into its
+    own buffer.  *live_queue*, when given, becomes the worker's live
+    event tee back to the parent's progress renderer.
     """
     _metrics_reset()
     _tracing.clear_spans()
     _tracing._capture = None
+    _events.reset_worker(live_queue=live_queue)
 
 
-def _init_fork_worker() -> None:
-    _reset_worker_telemetry()
+def _init_fork_worker(live_queue=None) -> None:
+    _reset_worker_telemetry(live_queue=live_queue)
 
 
-def _init_spawn_worker(payload: bytes, telemetry_enabled: bool) -> None:
+def _init_spawn_worker(payload: bytes, telemetry_enabled: bool,
+                       events_enabled: bool = False, live_queue=None) -> None:
     global _WORKER_STATE
     (graph, algebra, scheme, attr, max_k, trace_limit,
      compiled) = pickle.loads(payload)
     if telemetry_enabled:
         _telemetry_enable()
-    _reset_worker_telemetry()
+    if events_enabled:
+        _events.enable()
     # One *lazy* oracle per worker process, shared by every shard it runs:
     # no trees are built here — each shard's route_shard bulk-builds only
     # the sources that shard actually routes from.
@@ -193,19 +245,40 @@ def _init_spawn_worker(payload: bytes, telemetry_enabled: bool) -> None:
         # graph in this payload), so the worker's sweeps skip recompiling.
         oracle.adopt_compiled(compiled)
     _WORKER_STATE = (graph, algebra, scheme, oracle, attr, max_k, trace_limit)
+    # Reset *after* the oracle setup: initializer-time telemetry (the lazy
+    # oracle's setup span) is per-worker and schedule-dependent — it would
+    # ride whichever shard this worker happens to run first and make the
+    # folded log nondeterministic.
+    _reset_worker_telemetry(live_queue=live_queue)
 
 
-def _run_shard(shard: List[Tuple]) -> ShardResult:
+def _run_shard(indexed_shard: Tuple[int, List[Tuple]]) -> ShardResult:
     """Evaluate one shard in a worker; ship back results plus telemetry."""
+    shard_id, shard = indexed_shard
     _graph, algebra, scheme, oracle, _attr, max_k, trace_limit = _WORKER_STATE
+    events_on = _events.enabled()
+    if events_on:
+        _events.set_current_shard(shard_id)
+    started_at = time.time()
+    start = time.perf_counter()
     result = route_shard(algebra, scheme, oracle, shard,
                          max_k=max_k, trace_limit=trace_limit)
+    result.shard_id = shard_id
+    result.pid = os.getpid()
+    result.started_at = started_at
+    result.duration_s = time.perf_counter() - start
     if _telemetry_enabled():
         # Hand each shard's telemetry over exactly once: detach the live
         # registry (kept intact for pickling) and start the next shard empty.
         result.registry = _swap_registry()
         result.spans = _tracing.spans()
         _tracing.clear_spans()
+    if events_on:
+        _events.emit("shard_completed", shard=shard_id, pairs=len(shard),
+                     routed=result.routed, delivered=result.delivered,
+                     duration_s=result.duration_s)
+        result.events = _events.swap_log().events
+        _events.set_current_shard(None)
     return result
 
 
@@ -285,7 +358,12 @@ def _fold_traces(shards: List[List[Tuple]], index_lists: List[List[int]],
 
 
 def _fold_worker_telemetry(results: List[ShardResult]) -> None:
-    """Merge worker registries and span logs into this process's."""
+    """Merge worker registries and span logs into this process's.
+
+    ``executor.map`` returns results in submission order, so the folded
+    span log (and the event fold below) is deterministic in **shard
+    order** no matter which worker ran which shard when.
+    """
     live = _live_registry()
     for result in results:
         if result.registry is not None:
@@ -296,11 +374,95 @@ def _fold_worker_telemetry(results: List[ShardResult]) -> None:
             result.spans = None
 
 
+def _fold_worker_events(results: List[ShardResult]) -> None:
+    """Append each shard's worker event buffer to the parent log, in order."""
+    for result in results:
+        if result.events:
+            _events.extend_events(result.events)
+        result.events = None
+
+
+def _record_shard_timings(shards: List[List[Tuple]],
+                          results: List[ShardResult],
+                          run_info: ParallelRunInfo) -> None:
+    """Build the per-shard timing table and flag stragglers.
+
+    Every shard duration feeds the ``parallel.shard_seconds`` histogram;
+    shards exceeding ``factor x median`` (``REPRO_STRAGGLER_FACTOR``,
+    default 4) are flagged in the run info and counted on the
+    ``parallel.stragglers`` metric — the signal the ROADMAP's multi-host
+    backend will act on by re-issuing slow shards.
+    """
+    durations = [result.duration_s or 0.0 for result in results]
+    factor = _events.straggler_factor()
+    median, flagged = _events.detect_stragglers(durations, factor=factor)
+    flagged_set = set(flagged)
+    telemetry = _telemetry()
+    for shard, result in zip(shards, results):
+        telemetry.histogram("parallel.shard_seconds").observe(
+            result.duration_s or 0.0)
+        run_info.shards.append({
+            "shard": result.shard_id,
+            "pid": result.pid,
+            "pairs": len(shard),
+            "sources": len({s for s, _ in shard}),
+            "started_at": result.started_at,
+            "duration_s": result.duration_s,
+            "routed": result.routed,
+            "straggler": result.shard_id in flagged_set,
+        })
+    if flagged:
+        telemetry.counter("parallel.stragglers").inc(len(flagged))
+    run_info.stragglers = {
+        "factor": factor,
+        "median_s": median,
+        "shards": sorted(flagged),
+    }
+
+
 def _serial_fallback(algebra, scheme, oracle, pairs, max_k, trace_limit,
-                     reason: str) -> ShardResult:
+                     reason: str, cause: str = "") -> ShardResult:
     _telemetry().counter("parallel.fallback", reason=reason).inc()
+    if _LAST_RUN is not None:
+        _LAST_RUN.fallback = FallbackInfo(reason=reason, cause=cause)
+    if _events.enabled():
+        _events.emit("fallback_triggered", reason=reason, cause=cause)
     return route_shard(algebra, scheme, oracle, pairs,
                        max_k=max_k, trace_limit=trace_limit)
+
+
+def _live_event_pump(context):
+    """A (queue, stop_fn) pair pumping worker events to the live consumer.
+
+    Returns ``(None, noop)`` when no live consumer is registered — the
+    durable path needs no queue, so workers skip the tee entirely.  The
+    drain thread is a daemon and delivery is lossy by design; it exists
+    only to animate the progress renderer.
+    """
+    if not (_events.enabled() and _events.live_consumer() is not None):
+        return None, lambda: None
+    live_queue = context.Queue()
+    stop = threading.Event()
+
+    def _drain():
+        while True:
+            try:
+                event = live_queue.get(timeout=0.05)
+            except (_queue_mod.Empty, OSError, EOFError):
+                if stop.is_set():
+                    return
+                continue
+            _events.dispatch_live(event)
+
+    thread = threading.Thread(target=_drain, name="repro-event-drain",
+                              daemon=True)
+    thread.start()
+
+    def _stop():
+        stop.set()
+        thread.join(timeout=2.0)
+
+    return live_queue, _stop
 
 
 def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
@@ -316,7 +478,8 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
     contiguously, because the merge restores serial order from each
     shard's origin-index map.
     """
-    global _WORKER_STATE
+    global _WORKER_STATE, _LAST_RUN
+    _LAST_RUN = None
     pairs = list(pairs)
     shards, index_lists = shard_pairs_by_source(pairs, workers,
                                                 shard_size=shard_size)
@@ -326,16 +489,23 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
 
     workers = min(workers, len(shards))
     telemetry = _telemetry_enabled()
+    events_on = _events.enabled()
     method = _start_method()
     use_fork = method == "fork"
+    _LAST_RUN = run_info = ParallelRunInfo(start_method=method,
+                                           workers=workers)
 
     if use_fork:
         context = multiprocessing.get_context("fork")
-        initializer, initargs = _init_fork_worker, ()
+    else:
+        context = multiprocessing.get_context(method)
+    live_queue, stop_pump = _live_event_pump(context)
+
+    if use_fork:
+        initializer, initargs = _init_fork_worker, (live_queue,)
         _WORKER_STATE = (graph, algebra, scheme, oracle, scheme.attr,
                          max_k, trace_limit)
     else:
-        context = multiprocessing.get_context(method)
         try:
             # The oracle's compiled graph rides along (sharing the graph's
             # node objects via pickle memoization), so workers adopt the
@@ -348,10 +518,19 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
                 (graph, algebra, scheme, scheme.attr, max_k, trace_limit,
                  compiled)
             )
-        except Exception:
+        except Exception as exc:
+            stop_pump()
             return _serial_fallback(algebra, scheme, oracle, pairs, max_k,
-                                    trace_limit, reason="unpicklable")
-        initializer, initargs = _init_spawn_worker, (payload, telemetry)
+                                    trace_limit, reason="unpicklable",
+                                    cause=repr(exc))
+        initializer = _init_spawn_worker
+        initargs = (payload, telemetry, events_on, live_queue)
+
+    if events_on:
+        for shard_id, shard in enumerate(shards):
+            _events.emit("shard_dispatched", shard=shard_id,
+                         pairs=len(shard),
+                         sources=len({s for s, _ in shard}))
 
     try:
         with _tracing.span("route_pairs_parallel", scheme=scheme.name,
@@ -359,11 +538,14 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
             with ProcessPoolExecutor(max_workers=workers, mp_context=context,
                                      initializer=initializer,
                                      initargs=initargs) as executor:
-                results = list(executor.map(_run_shard, shards))
-    except (BrokenProcessPool, pickle.PicklingError, OSError):
+                results = list(executor.map(_run_shard,
+                                            list(enumerate(shards))))
+    except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
         return _serial_fallback(algebra, scheme, oracle, pairs, max_k,
-                                trace_limit, reason="pool-failure")
+                                trace_limit, reason="pool-failure",
+                                cause=repr(exc))
     finally:
+        stop_pump()
         if use_fork:
             _WORKER_STATE = None
 
@@ -377,6 +559,9 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
                                        trace_limit)
     else:
         traces, dropped = (), 0
+    _record_shard_timings(shards, results, run_info)
+    if events_on:
+        _fold_worker_events(results)
     merged = results[0]
     for result in results[1:]:
         merged.merge(result)
@@ -385,4 +570,9 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
     merged.traces_dropped = dropped
     merged.registry = None
     merged.spans = None
+    merged.events = None
+    merged.shard_id = None
+    merged.pid = None
+    merged.started_at = None
+    merged.duration_s = None
     return merged

@@ -41,6 +41,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import events as _events
 from repro.obs import tracing as _obs_tracing
 from repro.obs.metrics import enabled as _telemetry_enabled
 from repro.obs.metrics import metrics as _telemetry
@@ -60,6 +61,15 @@ WeightOracle = Callable[[object, object], object]
 
 #: Failures kept on a report (the rest are counted but not enumerated).
 MAX_REPORTED_FAILURES = 16
+
+#: Durable heartbeats per shard: one at the start plus one every
+#: ``len(pairs) // HEARTBEATS_PER_SHARD`` routed pairs.  Pair-count
+#: strides (never wall-clock) keep the durable event stream
+#: deterministic; extra time-based heartbeats go down the live-only path.
+HEARTBEATS_PER_SHARD = 4
+
+#: Seconds between live-only heartbeats on long quiet stretches.
+LIVE_HEARTBEAT_INTERVAL_S = 0.5
 
 
 def as_rng(rng: Union[int, random.Random, None]) -> Optional[random.Random]:
@@ -534,6 +544,15 @@ class ShardResult:
     traces_dropped: int = 0
     registry: Optional[object] = None
     spans: Optional[List] = None
+    #: Worker-side run events for this shard (folded in shard order by the
+    #: parent, see ``repro.core.parallel``); None on in-process shards.
+    events: Optional[List] = None
+    #: Shard identity/timing stamped by the parallel engine's workers —
+    #: the raw material of the run manifest's per-shard timeline.
+    shard_id: Optional[int] = None
+    pid: Optional[int] = None
+    started_at: Optional[float] = None
+    duration_s: Optional[float] = None
 
     def merge(self, other: "ShardResult") -> None:
         self.routed += other.routed
@@ -563,10 +582,24 @@ def route_shard(algebra: RoutingAlgebra, scheme: RoutingScheme,
     """
     telemetry = _telemetry_enabled()
     registry = _telemetry()
+    events_on = _events.enabled()
     pairs = list(pairs)
     if hasattr(oracle, "ensure_sources"):
+        built_before = getattr(oracle, "trees_built", 0)
         with _obs_tracing.span("oracle_trees", scheme=scheme.name):
             oracle.ensure_sources(s for s, _ in pairs)
+        if events_on:
+            _events.emit("oracle_trees_built",
+                         sources=len({s for s, _ in pairs}),
+                         built=getattr(oracle, "trees_built", 0) - built_before)
+    if events_on:
+        # At least one durable heartbeat per shard, then one every
+        # pair-count stride; wall-clock extras ride the live-only path so
+        # the durable stream stays deterministic under any scheduling.
+        _events.emit("shard_heartbeat", pairs_done=0, pairs_total=len(pairs))
+        heartbeat_stride = max(1, len(pairs) // HEARTBEATS_PER_SHARD)
+        last_live_heartbeat = time.monotonic()
+    processed = 0
     routed = 0
     delivered = 0
     optimal = 0
@@ -578,6 +611,17 @@ def route_shard(algebra: RoutingAlgebra, scheme: RoutingScheme,
             (_obs_tracing.capture_traces(limit=trace_limit) if own_capture else
              nullcontext()) as capture:
         for s, t in pairs:
+            if events_on:
+                processed += 1
+                if processed % heartbeat_stride == 0:
+                    _events.emit("shard_heartbeat", pairs_done=processed,
+                                 pairs_total=len(pairs))
+                    last_live_heartbeat = time.monotonic()
+                elif (time.monotonic() - last_live_heartbeat
+                      >= LIVE_HEARTBEAT_INTERVAL_S):
+                    _events.emit("shard_heartbeat", durable=False,
+                                 pairs_done=processed, pairs_total=len(pairs))
+                    last_live_heartbeat = time.monotonic()
             preferred = oracle(s, t)
             if is_phi(preferred):
                 continue

@@ -17,7 +17,21 @@ Typical use::
 See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
 """
 
+from repro.obs import events
 from repro.obs import export
+from repro.obs import progress
+from repro.obs.events import (
+    EventLog,
+    RunEvent,
+    build_manifest,
+    clear_events,
+    detect_stragglers,
+    event_from_dict,
+    event_to_dict,
+    events as run_events,
+    read_run,
+    write_run,
+)
 from repro.obs.export import (
     CodecError,
     OpaqueValue,
@@ -65,6 +79,18 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "EventLog",
+    "RunEvent",
+    "build_manifest",
+    "clear_events",
+    "detect_stragglers",
+    "event_from_dict",
+    "event_to_dict",
+    "events",
+    "progress",
+    "read_run",
+    "run_events",
+    "write_run",
     "ENV_VAR",
     "NULL_REGISTRY",
     "Counter",
@@ -109,6 +135,7 @@ __all__ = [
 
 
 def reset_all() -> None:
-    """Drop metrics, spans (the enabled flag is left untouched)."""
+    """Drop metrics, spans and run events (enabled flags are left untouched)."""
     reset()
     clear_spans()
+    clear_events()

@@ -34,6 +34,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 
 # ---------------------------------------------------------------------------
@@ -65,6 +66,8 @@ def span(name: str, **tags: str):
     parent = _span_stack[-1] if _span_stack else None
     path = f"{parent}.{name}" if parent else name
     _span_stack.append(path)
+    if _events.enabled():
+        _events.emit("phase_entered", phase=path)
     start = time.perf_counter()
     try:
         yield path
@@ -77,6 +80,8 @@ def span(name: str, **tags: str):
         )
         _spans.append(record)
         _metrics.metrics().histogram("span.seconds", span=path).observe(duration)
+        if _events.enabled():
+            _events.emit("phase_exited", phase=path, duration_s=duration)
 
 
 def spans() -> List[SpanRecord]:

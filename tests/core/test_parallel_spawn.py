@@ -27,6 +27,7 @@ from repro.core.simulate import (
 from repro.graphs.bgp_topologies import coned_as_topology
 from repro.graphs.generators import erdos_renyi
 from repro.graphs.weighting import assign_random_weights
+from repro.obs import events as obs_events
 from repro.obs import tracing as obs_tracing
 from repro.obs.metrics import disable as telemetry_disable
 from repro.obs.metrics import enable as telemetry_enable
@@ -51,11 +52,15 @@ def force_spawn(monkeypatch):
     telemetry_disable()
     telemetry_reset()
     obs_tracing.clear_spans()
+    obs_events.disable()
+    obs_events.clear_events()
     yield
     oracle_cache.clear()
     telemetry_disable()
     telemetry_reset()
     obs_tracing.clear_spans()
+    obs_events.disable()
+    obs_events.clear_events()
 
 
 def _sp_instance(n=16, seed=1):
@@ -131,3 +136,63 @@ class TestSpawnPickleFallback:
         obs_tracing.clear_spans()
         again = evaluate_scheme(graph, algebra, scheme)
         assert parallel == again == serial
+
+
+class TestSpawnEventFoldDeterminism:
+    """The durable telemetry fold must not depend on worker scheduling.
+
+    Two identical spawn runs can finish shards in any wall-clock order;
+    the folded event log and span list still have to come out in shard
+    order, so their schedule-independent projections are equal run to
+    run (timestamps, pids and durations legitimately differ).
+    """
+
+    def _run_with_events(self, shard_size=40):
+        graph, algebra, scheme = _sp_instance(n=14, seed=21)
+        oracle = preferred_weight_oracle(graph, algebra)
+        pairs = [(s, t) for s in graph.nodes() for t in graph.nodes()
+                 if s != t]
+        telemetry_enable()
+        obs_events.enable()
+        try:
+            merged = evaluate_sharded(graph, algebra, scheme, oracle, pairs,
+                                      workers=2, shard_size=shard_size)
+            log = obs_events.events()
+            spans = [record.path for record in obs_tracing.spans()]
+        finally:
+            telemetry_disable()
+            obs_events.disable()
+            obs_events.clear_events()
+        skeleton = [
+            (event.kind, event.shard,
+             event.data.get("pairs_done"), event.data.get("pairs_total"),
+             event.data.get("pairs"), event.data.get("sources"))
+            for event in log
+        ]
+        return merged, skeleton, spans
+
+    def test_two_runs_fold_identically(self):
+        first, skeleton_a, spans_a = self._run_with_events()
+        oracle_cache.clear()
+        telemetry_reset()
+        obs_tracing.clear_spans()
+        second, skeleton_b, spans_b = self._run_with_events()
+        assert first == second
+        assert skeleton_a == skeleton_b
+        assert spans_a == spans_b
+
+    def test_worker_events_arrive_in_shard_order(self):
+        _merged, skeleton, _spans = self._run_with_events()
+        worker_kinds = ("shard_heartbeat", "shard_completed",
+                        "oracle_trees_built")
+        worker_shards = [shard for kind, shard, *_ in skeleton
+                         if kind in worker_kinds]
+        assert worker_shards == sorted(worker_shards)
+        completed = [shard for kind, shard, *_ in skeleton
+                     if kind == "shard_completed"]
+        assert completed == list(range(len(completed)))
+        # Spawn workers start with a fresh log: every shard still shows
+        # its lead-in heartbeat at pairs_done=0.
+        lead_ins = {shard for kind, shard, done, *_ in skeleton
+                    if kind == "shard_heartbeat" and done == 0}
+        assert lead_ins == set(range(len(completed)))

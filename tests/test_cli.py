@@ -123,3 +123,78 @@ class TestGoldenCommands:
         with pytest.raises(SystemExit):
             main(["golden", "check", "--dir", str(tmp_path),
                   "--case", "not-a-case"])
+
+
+class TestRunTelemetryCommands:
+    @pytest.fixture(autouse=True)
+    def no_live_progress(self, monkeypatch):
+        """Keep control characters out of captured CLI output."""
+        from repro.obs.progress import NO_PROGRESS_ENV
+
+        monkeypatch.setenv(NO_PROGRESS_ENV, "1")
+
+    def test_evaluate_record_run_then_report(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(["evaluate", "shortest-path", "--n", "16",
+                     "--workers", "2", "--record-run", str(run_dir)]) == 0
+        err = capsys.readouterr().err
+        assert "recorded run ->" in err
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "events.jsonl").exists()
+
+        assert main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run: evaluate policy=shortest-path" in out
+        assert "engine:" in out
+        assert "shards:" in out
+        assert "stragglers:" in out
+        assert "shard_heartbeat" in out
+
+    def test_record_run_manifest_contents(self, tmp_path):
+        import json
+
+        run_dir = tmp_path / "run"
+        assert main(["evaluate", "widest-path", "--n", "12",
+                     "--record-run", str(run_dir)]) == 0
+        with open(run_dir / "manifest.json") as handle:
+            manifest = json.load(handle)
+        assert manifest["version"] == 1
+        assert manifest["command"] == "evaluate"
+        assert manifest["config"]["policy"] == "widest-path"
+        assert manifest["report"]["pairs"] == 12 * 11
+        assert "metrics" in manifest
+        assert "python" in manifest["env"]
+
+    def test_record_run_leaves_telemetry_disabled(self, tmp_path):
+        from repro.obs import events as obs_events
+        from repro.obs.metrics import enabled as telemetry_enabled
+
+        assert main(["evaluate", "shortest-path", "--n", "12",
+                     "--record-run", str(tmp_path / "run")]) == 0
+        assert not telemetry_enabled()
+        assert not obs_events.enabled()
+        assert obs_events.events() == []
+
+    def test_report_missing_run_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="no run manifest"):
+            main(["report", str(tmp_path / "nope")])
+
+    def test_profile_record_run(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(["profile", "shortest-path", "--n", "12",
+                     "--record-run", str(run_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "recorded run ->" in captured.err
+        import json
+
+        json.loads(captured.out)  # profile output stays valid JSON
+        assert main(["report", str(run_dir)]) == 0
+        assert "run: profile" in capsys.readouterr().out
+
+    def test_json_output_untouched_by_telemetry_flags(self, tmp_path, capsys):
+        import json
+
+        assert main(["evaluate", "shortest-path", "--n", "12", "--json",
+                     "--record-run", str(tmp_path / "run")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["pairs"] == 12 * 11
