@@ -12,7 +12,7 @@ import random
 
 from conftest import record
 from repro.algebra import provider_customer_algebra, valley_free_algebra
-from repro.core import EvaluationOptions, build_scheme, evaluate_scheme, loglog_slope
+from repro.core import EvaluationOptions, loglog_slope, run_experiment
 from repro.graphs import coned_as_topology, provider_tree_topology
 from repro.routing import memory_report
 
@@ -34,10 +34,10 @@ def _run_b1():
     rows = []
     for n in B1_SIZES:
         graph = provider_tree_topology(n, rng=random.Random(n), max_providers=3)
-        scheme = build_scheme(graph, algebra)
-        report = evaluate_scheme(graph, algebra, scheme,
-                                 options=EvaluationOptions(pairs=_pairs(graph, n)))
-        rows.append((n, memory_report(scheme).max_bits, report))
+        result = run_experiment(
+            graph, algebra,
+            options=EvaluationOptions(pairs=_pairs(graph, n)))
+        rows.append((n, memory_report(result.scheme).max_bits, result.report))
     return rows
 
 
@@ -47,10 +47,10 @@ def _run_b2():
     for scale in B2_SCALES:
         graph = coned_as_topology(3, scale, 3 * scale, rng=random.Random(scale))
         n = graph.number_of_nodes()
-        scheme = build_scheme(graph, algebra)
-        report = evaluate_scheme(graph, algebra, scheme,
-                                 options=EvaluationOptions(pairs=_pairs(graph, n)))
-        rows.append((n, memory_report(scheme).max_bits, report))
+        result = run_experiment(
+            graph, algebra,
+            options=EvaluationOptions(pairs=_pairs(graph, n)))
+        rows.append((n, memory_report(result.scheme).max_bits, result.report))
     return rows
 
 

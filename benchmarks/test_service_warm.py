@@ -1,0 +1,115 @@
+"""E-SRV — the persistent service answers warm queries >=10x faster.
+
+The PR 7 acceptance experiment: on a 512-node graph, a long-lived
+:class:`~repro.service.RoutingService` answering a repeated query batch
+must beat calling :func:`repro.run_experiment` per batch (which rebuilds
+the scheme and oracle every time) by at least an order of magnitude —
+and the warm path must build nothing: zero oracle/scheme spans, zero new
+trees.  Unlike the process-pool speedup bar, this one binds everywhere:
+warm-vs-cold is single-threaded, so no CPU-count escape hatch.
+"""
+
+import random
+import time
+
+from conftest import record
+from repro.algebra import ShortestPath
+from repro.core import EvaluationOptions, oracle_cache, run_experiment
+from repro.graphs import assign_random_weights, erdos_renyi
+from repro.obs import clear_spans, disable, enable, reset, spans
+from repro.service import RoutingService, ServiceOptions
+
+N = 512
+SOURCES = 24           # concentrated workload: realistic and bounded
+PAIRS_PER_SOURCE = 40
+WARM_ROUNDS = 5
+REQUIRED_SPEEDUP = 10.0
+SEED = 17
+
+
+def _instance():
+    algebra = ShortestPath()
+    graph = erdos_renyi(N, rng=random.Random(SEED))
+    assign_random_weights(graph, algebra, rng=random.Random(SEED + 1))
+    return graph, algebra
+
+
+def _workload(graph):
+    rng = random.Random(SEED + 2)
+    nodes = sorted(graph.nodes())
+    pairs = []
+    for source in rng.sample(nodes, SOURCES):
+        for target in rng.sample(nodes, PAIRS_PER_SOURCE):
+            if source != target:
+                pairs.append((source, target))
+    return pairs
+
+
+def test_warm_service_beats_per_call_experiment():
+    graph, algebra = _instance()
+    pairs = _workload(graph)
+
+    # Cold bar: one run_experiment call per batch — scheme + oracle paid
+    # every time.  The shared oracle cache is cleared so the cold path is
+    # honestly cold, like a fresh process per batch.
+    oracle_cache.clear()
+    start = time.perf_counter()
+    cold_result = run_experiment(
+        graph, algebra,
+        options=EvaluationOptions(pairs=tuple(pairs), rng=SEED))
+    cold_s = time.perf_counter() - start
+    oracle_cache.clear()
+
+    service = RoutingService(graph, algebra, ServiceOptions(seed=SEED))
+    service.route(pairs)  # pay the build once, outside the timed window
+    built = service.stats()["oracle"]["trees_built"]
+
+    enable()
+    reset()
+    clear_spans()
+    try:
+        start = time.perf_counter()
+        for _ in range(WARM_ROUNDS):
+            answers = service.route(pairs)
+        warm_s = (time.perf_counter() - start) / WARM_ROUNDS
+        warm_spans = [s.name for s in spans()]
+    finally:
+        disable()
+        reset()
+        clear_spans()
+
+    # The warm path built nothing: no oracle or scheme construction spans
+    # (only the service.query envelope), and no new trees.
+    build_spans = [name for name in warm_spans
+                   if name not in ("service.query",)]
+    assert build_spans == [], f"warm queries ran build spans: {build_spans}"
+    assert service.stats()["oracle"]["trees_built"] == built
+    assert service.scheme_builds == 1
+
+    # Same answers as the one-call facade on the same pairs.
+    routable = [a for a in answers if a.routable]
+    assert len(routable) == cold_result.report.pairs
+    assert sum(a.delivered for a in routable) == cold_result.report.delivered
+
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    record(
+        "service_warm_speedup",
+        [
+            f"erdos-renyi n={N}: {len(pairs)} pairs from {SOURCES} sources",
+            f"cold run_experiment  {cold_s:8.3f}s per batch",
+            f"warm service.route   {warm_s:8.3f}s per batch "
+            f"(avg of {WARM_ROUNDS})",
+            f"speedup {speedup:.1f}x (bar {REQUIRED_SPEEDUP:.0f}x, "
+            f"always enforced)",
+            f"warm build spans: {len(build_spans)}",
+        ],
+        data={
+            "n": N,
+            "pairs": len(pairs),
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "speedup": speedup,
+            "speedup_enforced": True,
+        },
+    )
+    assert speedup >= REQUIRED_SPEEDUP

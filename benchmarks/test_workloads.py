@@ -15,9 +15,9 @@ from conftest import record
 from repro.algebra import ShortestPath, valley_free_algebra
 from repro.core import (
     EvaluationOptions,
-    build_scheme,
     evaluate_scheme,
     gravity_pairs,
+    run_experiment,
     stretch_histogram,
     stub_pairs,
     text_histogram,
@@ -70,10 +70,10 @@ def test_bgp_stub_workload(benchmark):
     def run():
         algebra = valley_free_algebra()
         graph = coned_as_topology(3, 4, 8, rng=random.Random(6))
-        scheme = build_scheme(graph, algebra)
         pairs = stub_pairs(graph, 200, rng=random.Random(7))
-        return evaluate_scheme(graph, algebra, scheme,
-                               options=EvaluationOptions(pairs=pairs))
+        return run_experiment(
+            graph, algebra,
+            options=EvaluationOptions(pairs=pairs)).report
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
     record("workload_bgp_stubs", [report.summary()])

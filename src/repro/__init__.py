@@ -66,10 +66,14 @@ __all__ = [
     "core",
     "lowerbounds",
     "protocols",
+    "service",
     "run_experiment",
     "EvaluationOptions",
     "EvaluationReport",
     "ExperimentResult",
+    "RoutingService",
+    "ServiceOptions",
+    "UpdateResult",
     "AlgebraError",
     "AxiomViolationError",
     "DeliveryError",
@@ -87,19 +91,27 @@ _CORE_EXPORTS = (
     "ExperimentResult",
 )
 
+#: Service-layer names re-exported lazily from repro.service.
+_SERVICE_EXPORTS = ("RoutingService", "ServiceOptions", "UpdateResult")
+
 
 def __getattr__(name):
     # routing/core/lowerbounds import algebra+paths; lazy loading keeps the
     # top-level import light and avoids cycles during partial builds.
     import importlib
 
-    if name in ("routing", "core", "lowerbounds", "protocols"):
+    if name in ("routing", "core", "lowerbounds", "protocols", "service"):
         module = importlib.import_module(f"repro.{name}")
         globals()[name] = module
         return module
     if name in _CORE_EXPORTS:
         core = importlib.import_module("repro.core")
         value = getattr(core, name)
+        globals()[name] = value
+        return value
+    if name in _SERVICE_EXPORTS:
+        service = importlib.import_module("repro.service")
+        value = getattr(service, name)
         globals()[name] = value
         return value
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

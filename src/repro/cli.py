@@ -17,9 +17,14 @@ Commands:
   dump phase timers, metrics and protocol message counts as JSON
   (``--workers N`` parallelizes the pair evaluation; the same
   progress/recording flags as ``evaluate``);
+* ``serve <policy>`` — a persistent :class:`repro.service.RoutingService`
+  speaking line-delimited JSON over stdin/stdout (or TCP with
+  ``--port``): scheme, oracle trees and compiled graph stay warm across
+  route/stretch/memory queries, and update/fail/restore ops mutate the
+  topology with surgical invalidation (see ``docs/SERVICE.md``);
 * ``report <dir>`` — render a run recorded with ``--record-run``:
   phase tree, per-shard timeline with heartbeats and stragglers,
-  fallback causes, counters;
+  fallback causes, counters (``--json`` for the raw manifest + events);
 * ``scale <policy>`` — measure per-node table bits over growing n and fit
   the scaling class (the Table 1 experiment for one policy);
 * ``table1`` — the full six-row Table 1 reproduction;
@@ -72,7 +77,6 @@ from repro.core import (
     EvaluationOptions,
     build_scheme,
     classify,
-    evaluate_scheme,
     fit_scaling,
     oracle_cache,
     run_experiment,
@@ -180,19 +184,29 @@ def cmd_route(args) -> int:
     algebra, is_bgp = _policy(args.policy)
     graph = _topology(algebra, is_bgp, args.topology, args.n, args.seed)
     mode = "compact" if args.compact else "auto"
+    n = graph.number_of_nodes()
     was_enabled = obs.enabled()
     if args.trace:
         obs.enable()
+    run_ui = _RunTelemetry("route", args, n * (n - 1), {
+        "policy": args.policy, "topology": args.topology, "n": n,
+        "m": graph.number_of_edges(), "seed": args.seed, "mode": mode,
+    })
     try:
-        scheme = build_scheme(graph, algebra, mode=mode,
-                              rng=random.Random(args.seed + 1))
-        report = evaluate_scheme(
-            graph, algebra, scheme,
-            options=EvaluationOptions(trace_limit=args.trace_limit),
+        result = run_experiment(
+            graph, algebra, mode=mode,
+            options=EvaluationOptions(trace_limit=args.trace_limit,
+                                      rng=args.seed + 1),
         )
-    finally:
+        report = result.report
+    except BaseException:
+        run_ui.abort()
         if not was_enabled:
             obs.disable()
+        raise
+    run_ui.finish(report)
+    if not was_enabled:
+        obs.disable()
     if args.json:
         payload = {
             "policy": args.policy,
@@ -340,10 +354,14 @@ def cmd_evaluate(args) -> int:
         pair_count=args.pairs,
         workers=args.workers,
         shard_size=args.shard_size,
+        trace_limit=args.trace_limit,
         rng=args.seed + 1,
     )
     n = graph.number_of_nodes()
     total_pairs = args.pairs if args.pairs is not None else n * (n - 1)
+    was_enabled = obs.enabled()
+    if args.trace:
+        obs.enable()
     run_ui = _RunTelemetry("evaluate", args, total_pairs, {
         "policy": args.policy, "topology": args.topology, "n": n,
         "m": graph.number_of_edges(), "seed": args.seed,
@@ -355,8 +373,12 @@ def cmd_evaluate(args) -> int:
         report = result.report
     except BaseException:
         run_ui.abort()
+        if not was_enabled:
+            obs.disable()
         raise
     run_ui.finish(report)
+    if not was_enabled:
+        obs.disable()
     if args.json:
         payload = {
             "policy": args.policy,
@@ -381,6 +403,12 @@ def cmd_evaluate(args) -> int:
         stats = oracle_cache.stats()
         print(f"oracle: {stats['trees_built']}/{graph.number_of_nodes()} "
               f"source trees built ({stats['trees_requested']} lookups)")
+        if args.trace:
+            for trace in report.traces:
+                _print_trace(trace)
+            if report.traces_dropped:
+                print(f"({report.traces_dropped} further traced route(s) "
+                      f"dropped at the capture limit of {args.trace_limit})")
         if report.failures:
             print(f"failures (first {len(report.failures)}): {report.failures}")
     return 1 if report.failures else 0
@@ -402,13 +430,13 @@ def cmd_profile(args) -> int:
             "m": graph.number_of_edges(), "seed": args.seed,
             "workers": args.workers or 0, "mode": mode,
         }, reset=False)
-        scheme = build_scheme(graph, algebra, mode=mode,
-                              rng=random.Random(args.seed + 1))
-        report = evaluate_scheme(
-            graph, algebra, scheme,
+        result = run_experiment(
+            graph, algebra, mode=mode,
             options=EvaluationOptions(trace_limit=args.trace_limit,
-                                      workers=args.workers),
+                                      workers=args.workers,
+                                      rng=args.seed + 1),
         )
+        scheme, report = result.scheme, result.report
         run_ui.finish(report)
         run_ui = None
 
@@ -475,6 +503,49 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Start a persistent :class:`~repro.service.RoutingService`.
+
+    The built scheme, oracle trees and compiled graph stay warm across
+    requests; ``update_weight``/``fail_link``/``restore_link`` ops mutate
+    the topology with surgical invalidation.  Speaks one JSON object per
+    line on stdin/stdout (the default) or over TCP with ``--port``; EOF
+    or an ``op=shutdown`` request ends the session.  See
+    ``docs/SERVICE.md`` for the wire format.
+    """
+    from repro.service import (
+        RoutingService,
+        ServiceOptions,
+        serve_socket,
+        serve_stdio,
+    )
+
+    algebra, is_bgp = _policy(args.policy)
+    graph = _topology(algebra, is_bgp, args.topology, args.n, args.seed)
+    mode = "compact" if args.compact else "auto"
+    n = graph.number_of_nodes()
+    run_ui = _RunTelemetry("serve", args, None, {
+        "policy": args.policy, "topology": args.topology, "n": n,
+        "m": graph.number_of_edges(), "seed": args.seed, "mode": mode,
+    })
+    try:
+        service = RoutingService(
+            graph, algebra, ServiceOptions(mode=mode, seed=args.seed + 1))
+        if not args.quiet:
+            print(f"serving {service.scheme.name} on n={n} "
+                  f"m={graph.number_of_edges()} (one JSON request per line; "
+                  f"op=shutdown or EOF ends the session)", file=sys.stderr)
+        if args.port is not None:
+            code = serve_socket(service, host=args.host, port=args.port)
+        else:
+            code = serve_stdio(service)
+    except BaseException:
+        run_ui.abort()
+        raise
+    run_ui.finish()
+    return code
+
+
 def cmd_report(args) -> int:
     """Render a recorded run (``--record-run DIR``) as a human report."""
     try:
@@ -485,6 +556,13 @@ def cmd_report(args) -> int:
             f"(expected {obs_events.MANIFEST_FILE}; record one with "
             f"'repro evaluate ... --record-run {args.run}')"
         )
+    if args.json:
+        print(obs.to_json({
+            "manifest": run["manifest"],
+            "events": [obs_events.event_to_dict(event)
+                       for event in run["events"]],
+        }))
+        return 0
     print(obs_progress.render_run_report(run["manifest"], run["events"]))
     return 0
 
@@ -553,14 +631,45 @@ def cmd_table1(args) -> int:
     return 0
 
 
-def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
-    """Shared live-telemetry flags for the experiment-running subcommands."""
+def _add_telemetry_options(parser: argparse.ArgumentParser, *,
+                           trace_default: Optional[int] = None,
+                           json_flag: bool = False) -> None:
+    """Shared telemetry/output flags — the one place their contract lives.
+
+    Every subcommand that goes through here gets ``--progress``,
+    ``--quiet`` and ``--record-run DIR`` with identical semantics.  The
+    precedence rule (implemented once, in
+    :func:`repro.obs.progress.should_show_progress`): the
+    ``REPRO_NO_PROGRESS`` environment variable and ``--quiet`` always
+    win; ``--json`` implies quiet; an explicit ``--progress`` then forces
+    the live line; otherwise progress renders only on a TTY.
+    ``--record-run`` is independent of all of the above — it switches the
+    run-event stream on and writes a durable manifest + event log whether
+    or not anything rendered live.
+
+    ``--trace``/``--trace-limit`` appear on commands that can print
+    hop-by-hop packet traces (*trace_default* is the per-command capture
+    limit); ``--json`` via *json_flag* on commands with a distinct
+    machine-readable mode (commands whose output is always JSON, like
+    ``profile`` and ``serve``, omit it).  On commands that run no
+    experiment (``report``) the progress/record flags are accepted for
+    interface uniformity and are inert.
+    """
     parser.add_argument("--progress", action="store_true",
                         help="force the live progress line even without a TTY")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the live progress line")
     parser.add_argument("--record-run", metavar="DIR", default=None,
                         help="write a run manifest + event log to DIR")
+    if trace_default is not None:
+        parser.add_argument("--trace", action="store_true",
+                            help="print the hop-by-hop packet event log")
+        parser.add_argument("--trace-limit", type=int, default=trace_default,
+                            help="max packet traces to capture "
+                                 f"(default {trace_default})")
+    if json_flag:
+        parser.add_argument("--json", action="store_true",
+                            help="emit the report as JSON instead of text")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -586,13 +695,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument("--topology", default="erdos-renyi")
     p_route.add_argument("--compact", action="store_true",
                          help="use the Theorem 3 compact scheme where possible")
-    p_route.add_argument("--trace", action="store_true",
-                         help="print the hop-by-hop packet event log")
-    p_route.add_argument("--trace-limit", type=int, default=8,
-                         help="max packet traces to capture (default 8)")
-    p_route.add_argument("--json", action="store_true",
-                         help="emit the report as JSON instead of text")
     p_route.add_argument("--seed", type=int, default=0)
+    _add_telemetry_options(p_route, trace_default=8, json_flag=True)
     p_route.set_defaults(func=cmd_route)
 
     p_evaluate = sub.add_parser(
@@ -610,10 +714,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="evaluate pair shards across N processes")
     p_evaluate.add_argument("--shard-size", type=int, default=None,
                             help="pairs per shard (default: balanced)")
-    p_evaluate.add_argument("--json", action="store_true",
-                            help="emit the report as JSON instead of text")
     p_evaluate.add_argument("--seed", type=int, default=0)
-    _add_telemetry_options(p_evaluate)
+    _add_telemetry_options(p_evaluate, trace_default=16, json_flag=True)
     p_evaluate.set_defaults(func=cmd_evaluate)
 
     p_profile = sub.add_parser(
@@ -633,11 +735,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_options(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="persistent routing service (JSONL over stdin/stdout or TCP)",
+    )
+    p_serve.add_argument("policy")
+    p_serve.add_argument("--n", type=int, default=48)
+    p_serve.add_argument("--topology", default="erdos-renyi")
+    p_serve.add_argument("--compact", action="store_true",
+                         help="use the Theorem 3 compact scheme where possible")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="serve over TCP on this port (0 picks a free "
+                              "one) instead of stdin/stdout")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address for --port (default 127.0.0.1)")
+    p_serve.add_argument("--seed", type=int, default=0)
+    _add_telemetry_options(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
     p_report = sub.add_parser(
         "report",
         help="render a recorded run directory (manifest + event log)",
     )
     p_report.add_argument("run", help="run directory written by --record-run")
+    _add_telemetry_options(p_report, json_flag=True)
     p_report.set_defaults(func=cmd_report)
 
     p_scale = sub.add_parser("scale", help="fit the memory scaling class")

@@ -81,6 +81,22 @@ def as_rng(rng: Union[int, random.Random, None]) -> Optional[random.Random]:
     return random.Random(rng)
 
 
+@dataclass(frozen=True)
+class OracleInvalidation:
+    """The outcome of one incremental invalidation on a lazy oracle.
+
+    ``kept``/``dropped`` count memoized per-source structures (memoized
+    pairs, for the enumeration fallback).  ``patched`` says the compiled
+    CSR view absorbed the change in place; when False after a change the
+    compiled view was dropped for lazy recompilation on the next build.
+    """
+
+    change: str
+    kept: int
+    dropped: int
+    patched: bool
+
+
 class PreferredWeightOracle:
     """Lazy exact oracle: one preferred-path structure per *source*.
 
@@ -120,6 +136,7 @@ class PreferredWeightOracle:
         self.trees_requested = 0
         self.trees_built = 0
         self._tables: Dict = {}
+        self._parents: Dict = {}
         self._enum_memo: Optional[Dict] = None
         self._compiled = None
         self._lock = threading.Lock()
@@ -206,9 +223,14 @@ class PreferredWeightOracle:
             return {t: route.weight for t, route in routes.items()}
         from repro.paths.dijkstra import preferred_path_tree
 
-        return preferred_path_tree(self.graph, self.algebra, source,
+        tree = preferred_path_tree(self.graph, self.algebra, source,
                                    attr=self.attr,
-                                   compiled=self._ensure_compiled()).weight
+                                   compiled=self._ensure_compiled())
+        # The parent map is the raw material of surgical invalidation
+        # (tree-edge tests in invalidate_edge); it costs nothing extra —
+        # the engine already built it.
+        self._parents[source] = tree.parent
+        return tree.weight
 
     def _table_for(self, source) -> Dict:
         table = self._tables.get(source)
@@ -253,6 +275,146 @@ class PreferredWeightOracle:
                 self._enum_memo[key] = found.weight if found else PHI
             return self._enum_memo[key]
         return self._table_for(s).get(t, PHI)
+
+    # -- incremental invalidation (the service layer's churn path) --------
+
+    def invalidate_all(self) -> OracleInvalidation:
+        """Drop every memoized structure and the compiled view."""
+        with self._lock:
+            dropped = len(self._tables)
+            self._tables = {}
+            self._parents = {}
+            if self._enum_memo is not None:
+                dropped += len(self._enum_memo)
+                self._enum_memo = {}
+            self._compiled = None
+        return OracleInvalidation(change="all", kept=0, dropped=dropped,
+                                  patched=False)
+
+    def invalidate_edge(self, u, v, new_weight=PHI,
+                        change: str = "weight") -> OracleInvalidation:
+        """Drop exactly the memoized structures an edge change may affect.
+
+        Call **after** mutating the graph.  *change* is one of
+        ``"weight"`` (edge kept, weight replaced by *new_weight*),
+        ``"remove"`` (edge deleted) or ``"add"`` (edge inserted with
+        *new_weight*).  A built source survives only when the change
+        provably cannot alter any preferred weight it serves:
+
+        * every engine keeps sources that reach no usable tail of the
+          changed arc (an arc is only traversable from a source that
+          already reaches its tail, so the change is invisible there);
+        * the generalized-Dijkstra engine (algebra declared monotone and
+          isotone) additionally keeps a source when the edge is not one
+          of its tree edges **and** the new candidate through the edge is
+          strictly worse than the settled label at the head in every
+          usable direction — then the memoized labels remain both
+          achievable and optimal, so a cold rebuild reproduces them.
+
+        Kept tables stay bit-identical to a cold rebuild provided the
+        algebra's weights are canonical (algebra-equal weights encode
+        identically — true of every built-in algebra, whose weights are
+        ints, Fractions and tuples thereof).  Everything else is dropped
+        and lazily rebuilt on the next query.  The compiled CSR view is
+        weight-patched in place when possible, else dropped.
+        """
+        if change not in ("weight", "remove", "add"):
+            raise ValueError(f"unknown change kind {change!r}")
+        with self._lock:
+            patched = False
+            if self._compiled is not None:
+                if (change == "weight"
+                        and self._compiled.patch_weight(u, v, new_weight)):
+                    patched = True
+                else:
+                    self._compiled = None
+            if self._enum_memo is not None:
+                dropped = len(self._enum_memo)
+                self._enum_memo = {}
+                return OracleInvalidation(change=change, kept=0,
+                                          dropped=dropped, patched=patched)
+            keep = self._keep_rule(u, v, new_weight, change)
+            kept_tables: Dict = {}
+            kept_parents: Dict = {}
+            dropped = 0
+            for source, table in self._tables.items():
+                if keep(source, table):
+                    kept_tables[source] = table
+                    parent = self._parents.get(source)
+                    if parent is not None:
+                        kept_parents[source] = parent
+                else:
+                    dropped += 1
+            self._tables = kept_tables
+            self._parents = kept_parents
+        return OracleInvalidation(change=change, kept=len(kept_tables),
+                                  dropped=dropped, patched=patched)
+
+    def _keep_rule(self, u, v, new_weight, change):
+        """``(source, table) -> bool``: may the memoized table survive?"""
+        directed = self.graph.is_directed()
+        algebra = self.algebra
+        declared = algebra.declared_properties()
+        surgical = (self.engine == "dijkstra"
+                    and declared.monotone is True
+                    and declared.isotone is True)
+
+        def reaches(source, table, node):
+            return node == source or node in table
+
+        if not surgical:
+            # Endpoint-reachability rule, valid for every engine: a path
+            # from *source* through the arc needs a valid prefix ending
+            # at the tail, and prefixes use only unchanged arcs.
+            def keep(source, table):
+                if not reaches(source, table, u):
+                    return directed or not reaches(source, table, v)
+                return False
+
+            return keep
+
+        parents = self._parents
+
+        def is_tree_edge(parent):
+            if parent.get(v) == u:
+                return True
+            return not directed and parent.get(u) == v
+
+        def direction_safe(source, table, tail, head):
+            # May a path source -> tail -> (changed arc) -> head enter
+            # the optimum class at *head*?  Safe when it provably cannot.
+            if is_phi(new_weight) or head == source:
+                return True
+            if tail == source:
+                candidate = new_weight
+            else:
+                d_tail = table.get(tail, PHI)
+                if is_phi(d_tail):
+                    return True
+                candidate = algebra.combine(d_tail, new_weight)
+            if is_phi(candidate):
+                return True
+            d_head = table.get(head, PHI)
+            if is_phi(d_head):
+                return False  # the arc makes *head* reachable
+            return algebra.lt(d_head, candidate)
+
+        def keep(source, table):
+            parent = parents.get(source)
+            if parent is None:
+                return False  # no recorded tree: assume affected
+            if change in ("weight", "remove") and is_tree_edge(parent):
+                # The memoized labels were realized through this edge.
+                return False
+            if change == "remove":
+                # Non-tree edge: the memoized tree avoids it, removal
+                # cannot improve anything -> labels stand.
+                return True
+            if not direction_safe(source, table, u, v):
+                return False
+            return directed or direction_safe(source, table, v, u)
+
+        return keep
 
     def stats(self) -> dict:
         from repro.paths.kernel import resolve_engine
@@ -452,6 +614,12 @@ class EvaluationOptions:
     rng: Union[int, random.Random, None] = None
 
     def __post_init__(self):
+        # Deep immutability for the one mutable-typed field: a caller's
+        # list is snapshotted into a tuple, so one options object can be
+        # shared between a RoutingService and run_experiment (or across
+        # threads) without aliasing the caller's data.
+        if self.pairs is not None and not isinstance(self.pairs, tuple):
+            object.__setattr__(self, "pairs", tuple(self.pairs))
         if self.max_k < 1:
             raise ValueError(f"max_k must be >= 1, got {self.max_k}")
         if self.trace_limit < 0:

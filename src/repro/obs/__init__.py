@@ -11,7 +11,8 @@ Typical use::
 
     obs.enable()
     with obs.capture_traces(limit=4) as capture:
-        report = evaluate_scheme(graph, algebra, scheme)
+        result = repro.run_experiment(graph, algebra,
+                                      options=repro.EvaluationOptions(rng=7))
     obs.export.write_json("telemetry.json", obs.telemetry_snapshot())
 
 See ``docs/OBSERVABILITY.md`` for the event schema and metric names.

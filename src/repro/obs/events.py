@@ -70,6 +70,8 @@ EVENT_KINDS = frozenset({
     "phase_entered",
     "phase_exited",
     "fallback_triggered",
+    "service_query",
+    "service_update",
     "run_finished",
 })
 

@@ -243,6 +243,40 @@ class CompiledGraph:
             self._ranks = [by_node[node] for node in self.nodes]
         return self._ranks
 
+    def patch_weight(self, u, v, weight) -> bool:
+        """Patch the stored weight of edge ``(u, v)`` in place.
+
+        Returns ``True`` when the CSR arrays now reflect the new weight
+        (derived caches — bucket plans, engine scratch — are invalidated,
+        since both were computed from the old weight array).  Returns
+        ``False`` when an in-place patch cannot represent the change and
+        the holder must recompile: the arc is absent from the arrays
+        (``phi``-weighted at compile time, or no such edge) or the new
+        weight is ``phi`` (dropping an arc changes the array shape).
+        Undirected graphs patch both stored arcs or neither.
+        """
+        if is_phi(weight):
+            return False
+        arcs = [(u, v)] if self.directed or u == v else [(u, v), (v, u)]
+        positions = []
+        for tail, head in arcs:
+            tail_index = self.node_index.get(tail)
+            head_index = self.node_index.get(head)
+            if tail_index is None or head_index is None:
+                return False
+            for pos in range(self.indptr[tail_index],
+                             self.indptr[tail_index + 1]):
+                if self.indices[pos] == head_index:
+                    positions.append(pos)
+                    break
+            else:
+                return False
+        for pos in positions:
+            self.weights[pos] = weight
+        self.scratch.clear()
+        self._plans.clear()
+        return True
+
     def bucket_limit(self) -> int:
         """Largest bucket-array length worth allocating for this instance."""
         scaled = BUCKET_EDGE_FACTOR * (len(self.nodes) + len(self.indices))

@@ -1,0 +1,74 @@
+"""Transports for :class:`~repro.service.service.RoutingService`.
+
+Two transports share one line loop (:func:`serve_lines`):
+
+* :func:`serve_stdio` — the ``repro serve`` default: requests on stdin,
+  responses on stdout, one JSON object per line, EOF or a ``shutdown``
+  op ends the session.  Composes with shell pipelines and the CI smoke
+  fixture (``printf '...' | repro serve ... | diff - expected``).
+* :func:`serve_socket` — the same protocol over TCP, one client at a
+  time (connections are served sequentially; the service itself is
+  thread-safe, the sequential accept loop just keeps the transport
+  dependency-free).  A ``shutdown`` op ends the whole server, not just
+  the connection.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+from typing import IO, Iterable, Optional
+
+from repro.service.service import RoutingService
+from repro.service.wire import encode_response, handle_line
+
+
+def serve_lines(service: RoutingService, lines: Iterable[str],
+                out: IO[str]) -> bool:
+    """Run the request/response loop over an iterable of raw lines.
+
+    Writes one response line per request line (blank input lines are
+    skipped), flushing after each so a pipe peer can interleave requests
+    with responses.  Returns True when a ``shutdown`` op ended the loop,
+    False on input exhaustion.
+    """
+    for line in lines:
+        response, shutdown = handle_line(service, line)
+        if response is not None:
+            out.write(encode_response(response) + "\n")
+            out.flush()
+        if shutdown:
+            return True
+    return False
+
+
+def serve_stdio(service: RoutingService,
+                stdin: Optional[IO[str]] = None,
+                stdout: Optional[IO[str]] = None) -> int:
+    """Serve over stdin/stdout until EOF or shutdown; returns exit code 0."""
+    serve_lines(service,
+                stdin if stdin is not None else sys.stdin,
+                stdout if stdout is not None else sys.stdout)
+    return 0
+
+
+def serve_socket(service: RoutingService, host: str = "127.0.0.1",
+                 port: int = 0,
+                 ready: Optional[IO[str]] = None) -> int:
+    """Serve the line protocol over TCP until a ``shutdown`` op arrives.
+
+    Binds ``host:port`` (port 0 picks a free port), announces
+    ``listening on HOST:PORT`` on *ready* (default stderr) so scripts can
+    discover the bound port, then accepts one connection at a time.
+    """
+    with socket.create_server((host, port)) as server:
+        bound_host, bound_port = server.getsockname()[:2]
+        announce = ready if ready is not None else sys.stderr
+        announce.write(f"listening on {bound_host}:{bound_port}\n")
+        announce.flush()
+        while True:
+            conn, _ = server.accept()
+            with conn, conn.makefile("r", encoding="utf-8") as reader, \
+                    conn.makefile("w", encoding="utf-8") as writer:
+                if serve_lines(service, reader, writer):
+                    return 0

@@ -1,0 +1,181 @@
+"""The ``repro serve`` wire protocol: JSON requests in, JSON responses out.
+
+One JSON object per line in each direction.  Requests carry an ``op``,
+an optional client-chosen ``id`` (echoed back verbatim), and per-op
+arguments; node and weight values travel through the lossless typed codec
+of :mod:`repro.obs.export` (``encode_value``/``decode_value``), so
+tuples, Fractions and ``phi`` survive the JSON round trip exactly.
+
+Ops::
+
+    {"op": "route",   "pairs": [[s, t], ...]}   -> {"result": {"answers": [...]}}
+    {"op": "stretch", "pairs": [[s, t], ...]}   -> {"result": {"stretch": [...]}}
+    {"op": "memory"}                            -> {"result": {...bits...}}
+    {"op": "stats"}                             -> {"result": {...counters...}}
+    {"op": "update_weight", "u": ., "v": ., "weight": .} -> {"result": {...}}
+    {"op": "fail_link",     "u": ., "v": .}              -> {"result": {...}}
+    {"op": "restore_link",  "u": ., "v": .[, "weight": .]} -> {"result": {...}}
+    {"op": "shutdown"}                          -> {"result": {"stopping": true}}
+
+Responses are ``{"id": ..., "ok": true, "op": ..., "result": ...}`` or
+``{"id": ..., "ok": false, "op": ..., "error": "..."}`` — a bad request
+never kills the session.  Response JSON is emitted with sorted keys and
+no wall-clock content, so a scripted session diffs cleanly against a
+recorded fixture (the CI smoke test does exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.obs.export import decode_value, encode_value
+from repro.service.service import RouteAnswer, RoutingService, UpdateResult
+
+#: Ops a request may carry (anything else is an error response).
+OPS = frozenset((
+    "route", "stretch", "memory", "stats",
+    "update_weight", "fail_link", "restore_link", "shutdown",
+))
+
+
+class WireError(ReproError):
+    """A request line is malformed (bad JSON, unknown op, missing args)."""
+
+
+def decode_request(line: str) -> dict:
+    """Parse one request line into a dict, validating shape and op."""
+    try:
+        request = json.loads(line)
+    except ValueError as exc:
+        raise WireError(f"bad JSON: {exc}") from None
+    if not isinstance(request, dict):
+        raise WireError("request must be a JSON object")
+    op = request.get("op")
+    if op not in OPS:
+        raise WireError(
+            f"unknown op {op!r}; expected one of {', '.join(sorted(OPS))}")
+    return request
+
+
+def encode_response(response: dict) -> str:
+    """One deterministic JSON line (sorted keys, compact separators)."""
+    return json.dumps(response, sort_keys=True, separators=(",", ":"))
+
+
+def _decode_pairs(request: dict) -> list:
+    pairs = request.get("pairs")
+    if not isinstance(pairs, list):
+        raise WireError("route/stretch needs a 'pairs' list")
+    decoded = []
+    for pair in pairs:
+        if not isinstance(pair, list) or len(pair) != 2:
+            raise WireError(f"each pair must be a [source, target] list, "
+                            f"got {pair!r}")
+        decoded.append((decode_value(pair[0]), decode_value(pair[1])))
+    return decoded
+
+
+def _endpoint_args(request: dict) -> Tuple:
+    if "u" not in request or "v" not in request:
+        raise WireError(f"{request['op']} needs 'u' and 'v'")
+    return decode_value(request["u"]), decode_value(request["v"])
+
+
+def answer_to_dict(answer: RouteAnswer) -> dict:
+    """Wire form of one :class:`RouteAnswer` (typed-codec values)."""
+    return {
+        "source": encode_value(answer.source),
+        "target": encode_value(answer.target),
+        "routable": answer.routable,
+        "delivered": answer.delivered,
+        "path": [encode_value(node) for node in answer.path],
+        "hops": answer.hops,
+        "preferred": encode_value(answer.preferred),
+        "realized": encode_value(answer.realized),
+        "optimal": answer.optimal,
+        "stretch": answer.stretch,
+        "reason": answer.reason,
+    }
+
+
+def update_to_dict(update: UpdateResult) -> dict:
+    """Wire form of one :class:`UpdateResult`."""
+    return {
+        "op": update.op,
+        "u": encode_value(update.u),
+        "v": encode_value(update.v),
+        "weight": encode_value(update.weight),
+        "trees_kept": update.trees_kept,
+        "trees_dropped": update.trees_dropped,
+        "compiled_patched": update.compiled_patched,
+        "scheme_rebuild": update.scheme_rebuild,
+    }
+
+
+def handle_request(service: RoutingService,
+                   request: dict) -> Tuple[dict, bool]:
+    """Execute one decoded request; returns ``(response, shutdown)``."""
+    op = request["op"]
+    response = {"id": request.get("id"), "op": op, "ok": True}
+    shutdown = False
+    try:
+        if op == "route":
+            answers = service.route(_decode_pairs(request))
+            response["result"] = {
+                "answers": [answer_to_dict(a) for a in answers]}
+        elif op == "stretch":
+            response["result"] = {
+                "stretch": service.stretch(_decode_pairs(request))}
+        elif op == "memory":
+            memory = service.memory()
+            response["result"] = {
+                "scheme": memory.scheme_name,
+                "n": memory.n,
+                "max_bits": memory.max_bits,
+                "avg_bits": memory.avg_bits,
+                "total_bits": memory.total_bits,
+                "max_label_bits": memory.max_label_bits,
+            }
+        elif op == "stats":
+            response["result"] = service.stats()
+        elif op == "update_weight":
+            u, v = _endpoint_args(request)
+            if "weight" not in request:
+                raise WireError("update_weight needs 'weight'")
+            weight = decode_value(request["weight"])
+            response["result"] = update_to_dict(
+                service.update_weight(u, v, weight))
+        elif op == "fail_link":
+            u, v = _endpoint_args(request)
+            response["result"] = update_to_dict(service.fail_link(u, v))
+        elif op == "restore_link":
+            u, v = _endpoint_args(request)
+            weight = (decode_value(request["weight"])
+                      if "weight" in request else None)
+            response["result"] = update_to_dict(
+                service.restore_link(u, v, weight=weight))
+        else:  # shutdown
+            response["result"] = {"stopping": True}
+            shutdown = True
+    except ReproError as exc:
+        response = {"id": request.get("id"), "op": op, "ok": False,
+                    "error": str(exc)}
+    return response, shutdown
+
+
+def handle_line(service: RoutingService,
+                line: str) -> Tuple[Optional[dict], bool]:
+    """Decode + execute one raw line (blank lines are skipped).
+
+    Malformed lines produce an error response instead of raising, so one
+    bad client line never tears down the session.
+    """
+    if not line.strip():
+        return None, False
+    try:
+        request = decode_request(line)
+    except WireError as exc:
+        return {"id": None, "op": None, "ok": False, "error": str(exc)}, False
+    return handle_request(service, request)

@@ -79,6 +79,18 @@ class TestEvaluationOptions:
         with pytest.raises(AttributeError):
             options.max_k = 3
 
+    def test_pairs_normalized_to_tuple(self):
+        # A list (or generator) of pairs is snapshotted at construction,
+        # so a shared options object can't be mutated through its pairs.
+        pairs = [(0, 1), (1, 2)]
+        options = EvaluationOptions(pairs=pairs)
+        assert options.pairs == ((0, 1), (1, 2))
+        assert isinstance(options.pairs, tuple)
+        pairs.append((2, 3))
+        assert options.pairs == ((0, 1), (1, 2))
+        generated = EvaluationOptions(pairs=(p for p in [(4, 5)]))
+        assert generated.pairs == ((4, 5),)
+
 
 class TestDeprecationShim:
     def test_legacy_kwargs_warn_and_match(self):

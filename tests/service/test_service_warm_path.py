@@ -1,0 +1,96 @@
+"""Warm-path guarantees: repeat queries touch no build machinery at all.
+
+Once a :class:`~repro.service.RoutingService` has answered a batch, asking
+again must be pure lookup — no graph recompilation, no compiled-graph
+re-adoption, no new oracle trees, no scheme rebuild.  The tests enforce
+this by making the build entry points explode and querying anyway.
+"""
+
+import random
+
+import pytest
+
+import repro.core.simulate as simulate
+import repro.paths.kernel as kernel
+from repro.algebra.catalog import ShortestPath
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weighting import assign_random_weights
+from repro.service import RoutingService, ServiceOptions
+
+
+def make_service(n=24, seed=9):
+    algebra = ShortestPath()
+    graph = erdos_renyi(n, rng=random.Random(seed))
+    assign_random_weights(graph, algebra, rng=random.Random(seed + 1))
+    return RoutingService(graph, algebra, ServiceOptions(seed=seed))
+
+
+def all_pairs(graph):
+    nodes = sorted(graph.nodes())
+    return [(s, t) for s in nodes for t in nodes if s != t]
+
+
+def _boom(*_args, **_kwargs):
+    raise AssertionError("warm query touched a build entry point")
+
+
+def test_warm_queries_touch_no_build_machinery(monkeypatch):
+    service = make_service()
+    pairs = all_pairs(service.graph)
+    first = service.route(pairs)
+
+    scheme = service.scheme
+    compiled = service._oracle._compiled
+    built = service.stats()["oracle"]["trees_built"]
+
+    # From here on, any attempt to compile, adopt or build must blow up.
+    monkeypatch.setattr(kernel, "compile_graph", _boom)
+    monkeypatch.setattr(simulate.PreferredWeightOracle, "adopt_compiled",
+                        _boom)
+    monkeypatch.setattr(simulate.PreferredWeightOracle, "_build_table", _boom)
+
+    again = service.route(pairs)
+    service.stretch(pairs[: len(pairs) // 4])
+    service.memory()
+
+    assert again == first
+    assert service.scheme is scheme
+    assert service._oracle._compiled is compiled
+    assert service.stats()["oracle"]["trees_built"] == built
+    assert service.scheme_builds == 1
+
+
+def test_update_then_query_rebuilds_only_dropped_trees(monkeypatch):
+    service = make_service()
+    pairs = all_pairs(service.graph)
+    service.route(pairs)
+    u, v = next(iter(service.graph.edges()))
+    result = service.update_weight(u, v, 1)
+
+    calls = []
+    real_build = simulate.PreferredWeightOracle._build_table
+
+    def counting_build(self, source):
+        calls.append(source)
+        return real_build(self, source)
+
+    monkeypatch.setattr(simulate.PreferredWeightOracle, "_build_table",
+                        counting_build)
+    service.route(pairs)
+    # Only the invalidated trees are rebuilt — kept trees stay warm.
+    assert len(set(calls)) == result.trees_dropped
+
+
+def test_mutated_service_fails_loudly_if_rebuild_is_blocked(monkeypatch):
+    # The converse guard: after a mutation the service MUST rebuild, so a
+    # blocked build path must surface, not silently serve stale answers.
+    service = make_service()
+    pairs = all_pairs(service.graph)
+    service.route(pairs)
+    u, v = next(iter(service.graph.edges()))
+    service.fail_link(u, v)
+    import repro.core.compiler as compiler
+
+    monkeypatch.setattr(compiler, "build_scheme", _boom)
+    with pytest.raises(AssertionError, match="build entry point"):
+        service.route(pairs[:1])
