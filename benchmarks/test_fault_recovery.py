@@ -1,0 +1,93 @@
+"""E-FT — fault recovery: cost of surviving a worker kill mid-sweep.
+
+PR 8's acceptance experiment: route every sampled pair of a 200-node
+Waxman internetwork in parallel while ``REPRO_FAULT_SPEC`` SIGKILLs one
+worker mid-shard, and check that (a) the merged report is bit-identical
+to both the unfaulted parallel pass and the serial reference — salvage
+plus re-issue loses nothing — and (b) the run recovers through the
+retry path (no full-serial fallback).  The recorded overhead ratio
+(faulted / unfaulted wall-clock) is the trend-tracked number: it bounds
+what a single worker loss costs a large sweep now that it no longer
+costs the whole run.
+"""
+
+import os
+import random
+import time
+
+from conftest import record
+from repro.algebra import ShortestPath
+from repro.core import EvaluationOptions, evaluate_scheme, oracle_cache, sample_pairs
+from repro.core.compiler import build_scheme
+from repro.core.parallel import last_run_info
+from repro.core.simulate import FAULT_SPEC_ENV
+from repro.graphs import assign_random_weights, waxman
+
+N = 200
+WORKERS = 2
+SHARD_SIZE = 5000
+
+
+def test_worker_kill_recovery_is_exact_and_bounded():
+    algebra = ShortestPath()
+    graph = waxman(N, rng=random.Random(31))
+    assign_random_weights(graph, algebra, rng=random.Random(32))
+    scheme = build_scheme(graph, algebra)
+    pairs = sample_pairs(graph)
+    oracle_cache.get(graph, algebra, attr=scheme.attr, scheme_name=scheme.name)
+    options = EvaluationOptions(workers=WORKERS, shard_size=SHARD_SIZE)
+
+    serial = evaluate_scheme(graph, algebra, scheme)
+
+    start = time.perf_counter()
+    unfaulted = evaluate_scheme(graph, algebra, scheme, options=options)
+    unfaulted_s = time.perf_counter() - start
+
+    previous = os.environ.get(FAULT_SPEC_ENV)
+    os.environ[FAULT_SPEC_ENV] = "kill:shard=1:once"
+    try:
+        start = time.perf_counter()
+        faulted = evaluate_scheme(graph, algebra, scheme, options=options)
+        faulted_s = time.perf_counter() - start
+    finally:
+        if previous is None:
+            del os.environ[FAULT_SPEC_ENV]
+        else:
+            os.environ[FAULT_SPEC_ENV] = previous
+
+    run = last_run_info()
+    recovery = dict(run.recovery) if run else {}
+    overhead = faulted_s / unfaulted_s if unfaulted_s else float("inf")
+
+    record(
+        "fault_recovery",
+        [
+            f"waxman n={N}: {len(pairs)} ordered pairs, "
+            f"workers={WORKERS}, shard_size={SHARD_SIZE}",
+            f"unfaulted {unfaulted_s:8.2f}s",
+            f"1 worker killed {faulted_s:8.2f}s  (overhead {overhead:.2f}x)",
+            f"recovery: {recovery}",
+            f"reports identical: {faulted == serial == unfaulted}",
+            f"serial fallback avoided: {run is not None and run.fallback is None}",
+        ],
+        data={
+            "n": N,
+            "pairs": len(pairs),
+            "workers": WORKERS,
+            "shard_size": SHARD_SIZE,
+            "unfaulted_seconds": unfaulted_s,
+            "faulted_seconds": faulted_s,
+            "overhead_ratio": overhead,
+            "recovery": recovery,
+            "identical": faulted == serial == unfaulted,
+            "fallback": run.fallback.reason if run and run.fallback else None,
+        },
+    )
+
+    assert unfaulted == serial
+    assert faulted == serial
+    assert run is not None and run.fallback is None, (
+        "worker kill must be absorbed by the retry path, "
+        "not the full-serial fallback")
+    assert recovery.get("recovered") is True
+    assert recovery.get("shards_lost", 0) >= 1

@@ -42,8 +42,27 @@ the spawn path on Linux):
   only its shards' source trees — ``O(sources_per_shard)`` instead of the
   pre-PR-4 ``O(n)`` per worker.
 
-If worker state cannot be pickled under spawn, or the pool breaks, the
-engine falls back to serial evaluation (counted on the
+Shard execution is **fault-tolerant** (PR 8): each shard is submitted as
+its own future, so a worker death (an OOM kill, a crash, or a shard
+exceeding the per-shard ``REPRO_SHARD_TIMEOUT`` deadline) costs only the
+shards that were actually in flight.  Every already-completed
+:class:`~repro.core.simulate.ShardResult` is salvaged, the pool is
+rebuilt, and only the lost shards are re-issued — with bounded retries
+(``REPRO_SHARD_RETRIES``, default 2) per shard.  Retried shards are
+deterministic and the origin-index merge is order-restoring, so a
+recovered run's merged report stays bit-identical to an unfaulted serial
+run.  Workers announce each shard start on a crash-safe pipe, so the
+parent attributes a pool breakage precisely: shards that had started are
+*lost* (they consume retry budget, ``shard_lost``/``shard_retried``
+events, the ``parallel.shard_retries`` counter); shards still queued are
+*displaced* and re-issued for free.  Deterministic worker faults are
+injectable via ``REPRO_FAULT_SPEC`` (see
+:func:`repro.core.simulate.maybe_inject_fault`) for testing recovery on
+both start methods.
+
+Only when worker state cannot be pickled under spawn, a shard exhausts
+its retries, or the pool keeps breaking before any shard can run does
+the engine fall back to full serial evaluation (counted on the
 ``parallel.fallback`` metric) rather than failing the experiment.
 """
 
@@ -56,7 +75,8 @@ import pickle
 import queue as _queue_mod
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import wait as _cf_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -81,12 +101,62 @@ SHARDS_PER_WORKER = 4
 #: Environment variable forcing the pool start method (fork/spawn/forkserver).
 START_METHOD_ENV = "REPRO_START_METHOD"
 
+#: Environment variable bounding re-issues per lost shard.
+SHARD_RETRIES_ENV = "REPRO_SHARD_RETRIES"
+
+#: Re-issues granted to each lost shard before the serial fallback fires.
+DEFAULT_SHARD_RETRIES = 2
+
+#: Environment variable setting the per-shard timeout in seconds
+#: (unset/0 = no timeout, the default).
+SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
+
+#: How often the parent polls in-flight futures when a timeout is set.
+_POLL_INTERVAL_S = 0.05
+
+
+def shard_retry_limit(environ: Optional[Dict[str, str]] = None) -> int:
+    """Re-issues allowed per lost shard (``REPRO_SHARD_RETRIES``, >= 0)."""
+    environ = os.environ if environ is None else environ
+    raw = str(environ.get(SHARD_RETRIES_ENV, "")).strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return DEFAULT_SHARD_RETRIES
+        if value >= 0:
+            return value
+    return DEFAULT_SHARD_RETRIES
+
+
+def shard_timeout(environ: Optional[Dict[str, str]] = None) -> Optional[float]:
+    """The per-shard timeout in seconds, or None when disabled (default)."""
+    environ = os.environ if environ is None else environ
+    raw = str(environ.get(SHARD_TIMEOUT_ENV, "")).strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            return None
+        if value > 0:
+            return value
+    return None
+
 
 @dataclass
 class FallbackInfo:
-    """Why the parallel engine reverted to serial, with the actual cause."""
+    """Why the parallel engine reverted to serial, with the actual cause.
 
-    reason: str        # "unpicklable" | "pool-failure"
+    ``reason`` distinguishes the ways recovery can end: ``unpicklable``
+    (spawn payload never shipped), ``pool-failure`` (the pool broke
+    before any shard could run, rebuilding included), and
+    ``retry-exhausted`` (per-shard recovery ran and *gave up* — some
+    shard kept dying past ``REPRO_SHARD_RETRIES``).  A run that lost
+    shards but recovered has **no** fallback; its story lives in
+    :attr:`ParallelRunInfo.recovery` instead.
+    """
+
+    reason: str        # "unpicklable" | "pool-failure" | "retry-exhausted"
     cause: str         # repr of the triggering exception
 
     def summary(self) -> str:
@@ -98,16 +168,19 @@ class ParallelRunInfo:
     """What the last ``evaluate_sharded`` call did, for manifests/reports.
 
     ``shards`` holds one JSON-ready dict per shard (id, pid, pairs,
-    sources, wall-clock start, duration, routed count, straggler flag);
-    ``stragglers`` the detection outcome over those durations.  Reset at
-    the start of every parallel run, so the CLI reads the state of the
-    run it just performed.
+    sources, wall-clock start, duration, routed count, retry count,
+    straggler flag); ``stragglers`` the detection outcome over those
+    durations; ``recovery`` the fault-tolerance outcome (how many shards
+    were lost/re-issued across how many pool rebuilds, and whether the
+    run recovered or gave up).  Reset at the start of every parallel run,
+    so the CLI reads the state of the run it just performed.
     """
 
     start_method: Optional[str] = None
     workers: int = 0
     shards: List[Dict] = field(default_factory=list)
     stragglers: Dict = field(default_factory=dict)
+    recovery: Dict = field(default_factory=dict)
     fallback: Optional[FallbackInfo] = None
 
 
@@ -206,6 +279,17 @@ def _start_method() -> Optional[str]:
 #: initializer from its pickled payload.
 _WORKER_STATE = None
 
+#: The worker's shard-start notification channel (a ``SimpleQueue`` whose
+#: synchronous pipe write survives the worker being killed right after):
+#: the parent uses it to attribute a pool breakage to the shards that had
+#: actually started.
+_STARTED_QUEUE = None
+
+
+def _set_started_queue(queue) -> None:
+    global _STARTED_QUEUE
+    _STARTED_QUEUE = queue
+
 
 def _reset_worker_telemetry(live_queue=None) -> None:
     """Fresh telemetry in a new worker: drop state inherited from the parent.
@@ -222,12 +306,14 @@ def _reset_worker_telemetry(live_queue=None) -> None:
     _events.reset_worker(live_queue=live_queue)
 
 
-def _init_fork_worker(live_queue=None) -> None:
+def _init_fork_worker(live_queue=None, started_queue=None) -> None:
+    _set_started_queue(started_queue)
     _reset_worker_telemetry(live_queue=live_queue)
 
 
 def _init_spawn_worker(payload: bytes, telemetry_enabled: bool,
-                       events_enabled: bool = False, live_queue=None) -> None:
+                       events_enabled: bool = False, live_queue=None,
+                       started_queue=None) -> None:
     global _WORKER_STATE
     (graph, algebra, scheme, attr, max_k, trace_limit,
      compiled) = pickle.loads(payload)
@@ -245,6 +331,7 @@ def _init_spawn_worker(payload: bytes, telemetry_enabled: bool,
         # graph in this payload), so the worker's sweeps skip recompiling.
         oracle.adopt_compiled(compiled)
     _WORKER_STATE = (graph, algebra, scheme, oracle, attr, max_k, trace_limit)
+    _set_started_queue(started_queue)
     # Reset *after* the oracle setup: initializer-time telemetry (the lazy
     # oracle's setup span) is per-worker and schedule-dependent — it would
     # ride whichever shard this worker happens to run first and make the
@@ -252,21 +339,34 @@ def _init_spawn_worker(payload: bytes, telemetry_enabled: bool,
     _reset_worker_telemetry(live_queue=live_queue)
 
 
-def _run_shard(indexed_shard: Tuple[int, List[Tuple]]) -> ShardResult:
-    """Evaluate one shard in a worker; ship back results plus telemetry."""
-    shard_id, shard = indexed_shard
+def _run_shard(task: Tuple[int, int, List[Tuple]]) -> ShardResult:
+    """Evaluate one shard attempt in a worker; ship back results + telemetry.
+
+    *task* is ``(shard_id, attempt, pairs)``; the attempt number feeds the
+    deterministic fault hook (a ``:once`` clause fires only on attempt 0,
+    so re-issued shards complete) and is stamped on the result for the
+    run manifest's retry column.
+    """
+    shard_id, attempt, shard = task
     _graph, algebra, scheme, oracle, _attr, max_k, trace_limit = _WORKER_STATE
+    if _STARTED_QUEUE is not None:
+        try:
+            _STARTED_QUEUE.put((shard_id, attempt, os.getpid()))
+        except Exception:
+            pass  # a torn notification must never fail the shard
     events_on = _events.enabled()
     if events_on:
         _events.set_current_shard(shard_id)
     started_at = time.time()
     start = time.perf_counter()
     result = route_shard(algebra, scheme, oracle, shard,
-                         max_k=max_k, trace_limit=trace_limit)
+                         max_k=max_k, trace_limit=trace_limit,
+                         shard_id=shard_id, attempt=attempt)
     result.shard_id = shard_id
     result.pid = os.getpid()
     result.started_at = started_at
     result.duration_s = time.perf_counter() - start
+    result.attempt = attempt
     if _telemetry_enabled():
         # Hand each shard's telemetry over exactly once: detach the live
         # registry (kept intact for pickling) and start the next shard empty.
@@ -276,15 +376,218 @@ def _run_shard(indexed_shard: Tuple[int, List[Tuple]]) -> ShardResult:
     if events_on:
         _events.emit("shard_completed", shard=shard_id, pairs=len(shard),
                      routed=result.routed, delivered=result.delivered,
-                     duration_s=result.duration_s)
+                     duration_s=result.duration_s, attempt=attempt)
         result.events = _events.swap_log().events
         _events.set_current_shard(None)
     return result
 
 
 # ---------------------------------------------------------------------------
-# parent side
+# parent side: fault-tolerant shard execution
 # ---------------------------------------------------------------------------
+
+
+class _RetriesExhausted(Exception):
+    """A shard kept dying past its retry budget; serial fallback required."""
+
+    def __init__(self, shard_id: int, attempts: int, cause: str):
+        super().__init__(
+            f"shard {shard_id} lost {attempts} time(s); last cause: {cause}")
+        self.shard_id = shard_id
+        self.attempts = attempts
+        self.cause = cause
+
+
+class _PoolUnavailable(Exception):
+    """The pool keeps breaking before any shard can run; retrying is futile."""
+
+
+def _drain_started(started_queue, started: Dict[int, float]) -> None:
+    """Fold shard-start notifications into *started* (id -> observed time).
+
+    The queue outlives its writers: a killed worker's notification is
+    already in the pipe, so draining after a pool breakage still tells
+    the parent which shards had started.
+    """
+    try:
+        while not started_queue.empty():
+            shard_id, _attempt, _pid = started_queue.get()
+            started.setdefault(shard_id, time.monotonic())
+    except Exception:
+        pass  # a torn notification must not fail the round
+
+
+def _kill_pool(executor) -> None:
+    """Hard-stop a pool with a stuck worker.
+
+    ``shutdown(cancel_futures=True)`` alone cannot reclaim a worker stuck
+    inside a shard — it never returns to read the next work item — so the
+    workers are killed outright; the pool then marks itself broken, which
+    the caller handles like any other worker loss.
+    """
+    for process in list((getattr(executor, "_processes", None) or {}).values()):
+        try:
+            process.kill()
+        except Exception:
+            pass
+
+
+def _run_pool_round(shards: List[List[Tuple]], todo: List[int],
+                    attempts: List[int], workers: int, context,
+                    initializer, initargs,
+                    timeout: Optional[float]
+                    ) -> Tuple[Dict[int, ShardResult], List[int], List[int], str]:
+    """Submit *todo* shards to one fresh pool and classify what came back.
+
+    Returns ``(results, lost, displaced, cause)``: *results* maps shard
+    id -> :class:`ShardResult` for every shard that completed — these are
+    the salvaged results a pool failure can no longer discard; *lost*
+    holds shards that started in a worker but never completed (the worker
+    died, or the shard exceeded *timeout*) — they consume retry budget;
+    *displaced* holds shards the breakage caught still queued — they are
+    re-issued for free.  *cause* describes the triggering failure.
+    """
+    started_queue = context.SimpleQueue()
+    results: Dict[int, ShardResult] = {}
+    lost: List[int] = []
+    displaced: List[int] = []
+    cause = ""
+    started: Dict[int, float] = {}
+
+    def _classify(shard_id: int) -> None:
+        (lost if shard_id in started else displaced).append(shard_id)
+
+    executor = ProcessPoolExecutor(max_workers=workers, mp_context=context,
+                                   initializer=initializer,
+                                   initargs=initargs + (started_queue,))
+    try:
+        futures = {
+            executor.submit(_run_shard,
+                            (shard_id, attempts[shard_id], shards[shard_id])):
+            shard_id
+            for shard_id in todo
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = _cf_wait(
+                pending, timeout=_POLL_INTERVAL_S if timeout else None)
+            _drain_started(started_queue, started)
+            for future in done:
+                shard_id = futures[future]
+                try:
+                    results[shard_id] = future.result()
+                except CancelledError:
+                    displaced.append(shard_id)
+                except (BrokenProcessPool, OSError) as exc:
+                    cause = cause or repr(exc)
+                    _classify(shard_id)
+            if timeout and pending:
+                now = time.monotonic()
+                timed_out = any(
+                    futures[f] in started
+                    and now - started[futures[f]] > timeout
+                    for f in pending)
+                if timed_out:
+                    cause = cause or f"shard timeout (>{timeout:g}s)"
+                    _kill_pool(executor)
+                    # Final harvest: a shard may have completed between
+                    # the wait and the kill — salvage it, don't re-run it.
+                    done, pending = _cf_wait(pending, timeout=0)
+                    for future in done:
+                        shard_id = futures[future]
+                        try:
+                            results[shard_id] = future.result()
+                        except Exception:
+                            _classify(shard_id)
+                    for future in pending:
+                        _classify(futures[future])
+                    pending = set()
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return results, sorted(lost), sorted(displaced), cause
+
+
+def _execute_shards(shards: List[List[Tuple]], workers: int, context,
+                    initializer, initargs,
+                    run_info: ParallelRunInfo) -> List[ShardResult]:
+    """Run every shard to completion, salvaging results across pool failures.
+
+    The fault-tolerance core: on a worker death or per-shard timeout the
+    already-completed results are kept, the pool is rebuilt, and only the
+    lost shards are re-issued with their attempt number bumped (bounded
+    by ``REPRO_SHARD_RETRIES``).  Emits ``shard_lost`` / ``pool_rebuilt``
+    / ``shard_retried`` events and the ``parallel.shard_retries`` /
+    ``parallel.pool_rebuilds`` counters; the aggregate lands on
+    ``run_info.recovery``.  Raises :class:`_RetriesExhausted` when a
+    shard keeps dying, :class:`_PoolUnavailable` when the pool breaks
+    twice in a row before any shard runs — the caller maps both onto the
+    full-serial last-resort fallback.
+    """
+    retries = shard_retry_limit()
+    timeout = shard_timeout()
+    events_on = _events.enabled()
+    telemetry = _telemetry()
+    results: Dict[int, ShardResult] = {}
+    attempts = [0] * len(shards)
+    todo = list(range(len(shards)))
+    barren_rounds = 0
+    lost_total = 0
+    displaced_total = 0
+    rebuilds = 0
+    while todo:
+        round_results, lost, displaced, cause = _run_pool_round(
+            shards, todo, attempts, min(workers, len(todo)), context,
+            initializer, initargs, timeout)
+        results.update(round_results)
+        todo = sorted(lost + displaced)
+        if not todo:
+            break
+        if not round_results and not lost:
+            # Nothing completed and nothing even started: the pool broke
+            # before any shard ran (e.g. the initializer keeps dying), so
+            # rebuilding cannot converge.
+            barren_rounds += 1
+            if barren_rounds >= 2:
+                raise _PoolUnavailable(
+                    cause or "pool broke before any shard ran")
+        else:
+            barren_rounds = 0
+        rebuilds += 1
+        lost_total += len(lost)
+        displaced_total += len(displaced)
+        for shard_id in lost:
+            if events_on:
+                _events.emit("shard_lost", shard=shard_id, cause=cause,
+                             attempt=attempts[shard_id])
+            attempts[shard_id] += 1
+            if attempts[shard_id] > retries:
+                run_info.recovery = _recovery_summary(
+                    lost_total, displaced_total, rebuilds, recovered=False)
+                raise _RetriesExhausted(shard_id, attempts[shard_id], cause)
+        if lost:
+            telemetry.counter("parallel.shard_retries").inc(len(lost))
+        telemetry.counter("parallel.pool_rebuilds").inc()
+        if events_on:
+            _events.emit("pool_rebuilt", round=rebuilds, lost=len(lost),
+                         displaced=len(displaced), cause=cause)
+            for shard_id in lost:
+                _events.emit("shard_retried", shard=shard_id,
+                             attempt=attempts[shard_id], cause=cause)
+    if rebuilds:
+        run_info.recovery = _recovery_summary(
+            lost_total, displaced_total, rebuilds, recovered=True)
+    return [results[shard_id] for shard_id in range(len(shards))]
+
+
+def _recovery_summary(lost: int, displaced: int, rebuilds: int,
+                      recovered: bool) -> Dict:
+    return {
+        "shards_lost": lost,
+        "shards_retried": lost,
+        "shards_displaced": displaced,
+        "pool_rebuilds": rebuilds,
+        "recovered": recovered,
+    }
 
 
 def _match_indices(shard: List[Tuple], index_list: List[int],
@@ -360,9 +663,12 @@ def _fold_traces(shards: List[List[Tuple]], index_lists: List[List[int]],
 def _fold_worker_telemetry(results: List[ShardResult]) -> None:
     """Merge worker registries and span logs into this process's.
 
-    ``executor.map`` returns results in submission order, so the folded
-    span log (and the event fold below) is deterministic in **shard
-    order** no matter which worker ran which shard when.
+    :func:`_execute_shards` returns results ordered by shard id (whatever
+    pool a shard's final attempt ran in), so the folded span log (and the
+    event fold below) is deterministic in **shard order** no matter which
+    worker ran which shard when — and each shard's telemetry folds
+    exactly once: a killed attempt's partial telemetry died with its
+    worker, and only the completing attempt ships a registry.
     """
     live = _live_registry()
     for result in results:
@@ -395,7 +701,9 @@ def _record_shard_timings(shards: List[List[Tuple]],
     """
     durations = [result.duration_s or 0.0 for result in results]
     factor = _events.straggler_factor()
-    median, flagged = _events.detect_stragglers(durations, factor=factor)
+    min_duration = _events.straggler_min_duration()
+    median, flagged = _events.detect_stragglers(durations, factor=factor,
+                                                min_duration=min_duration)
     flagged_set = set(flagged)
     telemetry = _telemetry()
     for shard, result in zip(shards, results):
@@ -409,12 +717,14 @@ def _record_shard_timings(shards: List[List[Tuple]],
             "started_at": result.started_at,
             "duration_s": result.duration_s,
             "routed": result.routed,
+            "retries": result.attempt or 0,
             "straggler": result.shard_id in flagged_set,
         })
     if flagged:
         telemetry.counter("parallel.stragglers").inc(len(flagged))
     run_info.stragglers = {
         "factor": factor,
+        "min_s": min_duration,
         "median_s": median,
         "shards": sorted(flagged),
     }
@@ -535,11 +845,16 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
     try:
         with _tracing.span("route_pairs_parallel", scheme=scheme.name,
                            workers=str(workers), shards=str(len(shards))):
-            with ProcessPoolExecutor(max_workers=workers, mp_context=context,
-                                     initializer=initializer,
-                                     initargs=initargs) as executor:
-                results = list(executor.map(_run_shard,
-                                            list(enumerate(shards))))
+            results = _execute_shards(shards, workers, context,
+                                      initializer, initargs, run_info)
+    except _RetriesExhausted as exc:
+        return _serial_fallback(algebra, scheme, oracle, pairs, max_k,
+                                trace_limit, reason="retry-exhausted",
+                                cause=str(exc))
+    except _PoolUnavailable as exc:
+        return _serial_fallback(algebra, scheme, oracle, pairs, max_k,
+                                trace_limit, reason="pool-failure",
+                                cause=str(exc))
     except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
         return _serial_fallback(algebra, scheme, oracle, pairs, max_k,
                                 trace_limit, reason="pool-failure",
@@ -575,4 +890,5 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
     merged.pid = None
     merged.started_at = None
     merged.duration_s = None
+    merged.attempt = None
     return merged

@@ -59,6 +59,14 @@ STRAGGLER_FACTOR_ENV = "REPRO_STRAGGLER_FACTOR"
 #: A shard is a straggler when its duration exceeds factor x median.
 DEFAULT_STRAGGLER_FACTOR = 4.0
 
+#: Environment variable overriding the straggler minimum-duration floor.
+STRAGGLER_MIN_ENV = "REPRO_STRAGGLER_MIN_S"
+
+#: Shards faster than this are never stragglers: on a sub-millisecond
+#: smoke run the median is ~0, so ``factor x median`` would flag every
+#: shard with any nonzero duration at all.
+DEFAULT_STRAGGLER_MIN_S = 0.05
+
 #: The closed set of event kinds; :func:`emit` rejects anything else so a
 #: typo'd kind fails loudly in tests instead of silently fragmenting logs.
 EVENT_KINDS = frozenset({
@@ -66,6 +74,9 @@ EVENT_KINDS = frozenset({
     "shard_dispatched",
     "shard_heartbeat",
     "shard_completed",
+    "shard_lost",
+    "shard_retried",
+    "pool_rebuilt",
     "oracle_trees_built",
     "phase_entered",
     "phase_exited",
@@ -283,22 +294,43 @@ def straggler_factor(environ: Optional[Dict[str, str]] = None) -> float:
     return DEFAULT_STRAGGLER_FACTOR
 
 
+def straggler_min_duration(environ: Optional[Dict[str, str]] = None) -> float:
+    """The minimum duration (seconds) a straggler must exceed (env wins)."""
+    environ = os.environ if environ is None else environ
+    raw = str(environ.get(STRAGGLER_MIN_ENV, "")).strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            return DEFAULT_STRAGGLER_MIN_S
+        if value >= 0:
+            return value
+    return DEFAULT_STRAGGLER_MIN_S
+
+
 def detect_stragglers(durations: Sequence[float],
-                      factor: Optional[float] = None
+                      factor: Optional[float] = None,
+                      min_duration: Optional[float] = None
                       ) -> Tuple[float, List[int]]:
     """``(median, straggler_indices)`` for per-shard *durations*.
 
-    A shard straggles when its duration exceeds ``factor x median``; the
-    median is the lower-middle element (deterministic, no interpolation).
-    An empty duration list yields ``(0.0, [])``.
+    A shard straggles when its duration exceeds ``factor x median`` **and**
+    the absolute floor *min_duration* (``REPRO_STRAGGLER_MIN_S``, default
+    50ms) — without the floor a sub-millisecond smoke run has a near-zero
+    median and every shard gets flagged.  The median is the lower-middle
+    element (deterministic, no interpolation).  An empty duration list
+    yields ``(0.0, [])``.
     """
     if factor is None:
         factor = straggler_factor()
+    if min_duration is None:
+        min_duration = straggler_min_duration()
     values = [float(d) for d in durations]
     if not values:
         return 0.0, []
     median = sorted(values)[(len(values) - 1) // 2]
-    flagged = [i for i, d in enumerate(values) if d > factor * median]
+    flagged = [i for i, d in enumerate(values)
+               if d > factor * median and d >= min_duration]
     return median, flagged
 
 
@@ -352,6 +384,7 @@ def build_manifest(*, command: str, config: Dict, engine: Dict,
                    started_at: float, finished_at: float,
                    shards: Optional[List[Dict]] = None,
                    stragglers: Optional[Dict] = None,
+                   recovery: Optional[Dict] = None,
                    counters: Optional[Dict] = None,
                    spans: Optional[List[Dict]] = None,
                    report: Optional[Dict] = None) -> Dict:
@@ -360,9 +393,10 @@ def build_manifest(*, command: str, config: Dict, engine: Dict,
     *config* is the experiment recipe (policy, topology, n, seed, workers
     ...), *engine* the resolved execution strategy (start method, path
     engine), *shards* the per-shard timing/dispatch table the parallel
-    engine collected, *counters* the final metric snapshot and *spans*
-    the phase-span log — everything ``repro report`` needs to rebuild
-    the run without re-running it.
+    engine collected, *recovery* its fault-tolerance outcome (shards
+    lost/re-issued, pool rebuilds), *counters* the final metric snapshot
+    and *spans* the phase-span log — everything ``repro report`` needs to
+    rebuild the run without re-running it.
     """
     manifest = {
         "version": 1,
@@ -375,6 +409,7 @@ def build_manifest(*, command: str, config: Dict, engine: Dict,
         "duration_s": max(0.0, finished_at - started_at),
         "shards": list(shards or []),
         "stragglers": dict(stragglers or {}),
+        "recovery": dict(recovery or {}),
     }
     if counters is not None:
         manifest["metrics"] = counters

@@ -106,6 +106,14 @@ class ProgressRenderer:
                 if isinstance(pairs, int):
                     self._pairs_done[event.shard] = pairs
                 self._workers[event.pid] = None
+            elif kind == "shard_lost":
+                # The shard will be re-issued from scratch: roll back its
+                # partial pair count and retire the dead worker's slot so
+                # the active count reflects the rebuilt pool.
+                self._pairs_done.pop(event.shard, None)
+                for pid, shard in list(self._workers.items()):
+                    if shard == event.shard:
+                        self._workers[pid] = None
             else:
                 return
             self._dirty = True
@@ -244,17 +252,22 @@ def render_run_report(manifest: Dict,
         lines.extend(_format_span_tree(spans))
 
     shards = manifest.get("shards") or []
+    lines.append("")
+    lines.append("shards:")
     if shards:
         heartbeats: Dict[Optional[int], int] = {}
         for event in events:
             if event.kind == "shard_heartbeat":
                 heartbeats[event.shard] = heartbeats.get(event.shard, 0) + 1
-        start0 = min((s.get("started_at") or 0.0) for s in shards)
-        max_duration = max((s.get("duration_s") or 0.0) for s in shards)
-        lines.append("")
-        lines.append("shards:")
+        # default= guards: a manifest can carry an empty or all-null shard
+        # table (serial fallback, --record-run on a single-shard run) and
+        # the report must render it, not die on min()/max().
+        start0 = min(((s.get("started_at") or 0.0) for s in shards),
+                     default=0.0)
+        max_duration = max(((s.get("duration_s") or 0.0) for s in shards),
+                           default=0.0)
         lines.append(f"  {'id':>4s} {'pid':>7s} {'pairs':>6s} {'srcs':>5s} "
-                     f"{'hb':>4s} {'start':>8s} {'dur':>8s}")
+                     f"{'hb':>4s} {'rt':>3s} {'start':>8s} {'dur':>8s}")
         for info in shards:
             shard_id = info.get("shard")
             duration = info.get("duration_s") or 0.0
@@ -263,7 +276,8 @@ def render_run_report(manifest: Dict,
             lines.append(
                 f"  {shard_id!s:>4s} {info.get('pid')!s:>7s} "
                 f"{info.get('pairs')!s:>6s} {info.get('sources')!s:>5s} "
-                f"{heartbeats.get(shard_id, 0):>4d} {offset:>+7.3f}s "
+                f"{heartbeats.get(shard_id, 0):>4d} "
+                f"{info.get('retries') or 0:>3d} {offset:>+7.3f}s "
                 f"{duration:>7.3f}s  {_shard_bar(duration, max_duration)}{flag}")
 
         stragglers = manifest.get("stragglers") or {}
@@ -273,6 +287,17 @@ def render_run_report(manifest: Dict,
             f"{stragglers.get('factor', _events.DEFAULT_STRAGGLER_FACTOR)}x "
             f"median ({stragglers.get('median_s', 0.0):.3f}s)"
             + (f" — shards {flagged}" if flagged else ""))
+    else:
+        lines.append("  none (serial run)")
+
+    recovery = manifest.get("recovery") or {}
+    if recovery:
+        verb = "recovered" if recovery.get("recovered") else "gave up"
+        lines.append(
+            f"recovery: {verb} — lost {recovery.get('shards_lost', 0)}, "
+            f"retried {recovery.get('shards_retried', 0)}, "
+            f"displaced {recovery.get('shards_displaced', 0)}, "
+            f"pool rebuilds {recovery.get('pool_rebuilds', 0)}")
 
     fallbacks = [event for event in events if event.kind == "fallback_triggered"]
     for event in fallbacks:

@@ -10,7 +10,9 @@ Two transports share one line loop (:func:`serve_lines`):
   time (connections are served sequentially; the service itself is
   thread-safe, the sequential accept loop just keeps the transport
   dependency-free).  A ``shutdown`` op ends the whole server, not just
-  the connection.
+  the connection.  A client that disconnects abruptly mid-session only
+  ends its own connection: the transport error is logged on the
+  announce stream and the accept loop keeps serving.
 """
 
 from __future__ import annotations
@@ -60,6 +62,12 @@ def serve_socket(service: RoutingService, host: str = "127.0.0.1",
     Binds ``host:port`` (port 0 picks a free port), announces
     ``listening on HOST:PORT`` on *ready* (default stderr) so scripts can
     discover the bound port, then accepts one connection at a time.
+
+    Transport errors from one connection — a client that vanishes
+    mid-request, a reset pipe on write — must not kill the server: the
+    "errors never kill the session" contract extends to the accept
+    loop.  Each is logged as one ``client disconnected`` line on the
+    announce stream and the loop moves on to the next ``accept``.
     """
     with socket.create_server((host, port)) as server:
         bound_host, bound_port = server.getsockname()[:2]
@@ -67,8 +75,16 @@ def serve_socket(service: RoutingService, host: str = "127.0.0.1",
         announce.write(f"listening on {bound_host}:{bound_port}\n")
         announce.flush()
         while True:
-            conn, _ = server.accept()
-            with conn, conn.makefile("r", encoding="utf-8") as reader, \
-                    conn.makefile("w", encoding="utf-8") as writer:
-                if serve_lines(service, reader, writer):
-                    return 0
+            conn, peer = server.accept()
+            try:
+                with conn, conn.makefile("r", encoding="utf-8") as reader, \
+                        conn.makefile("w", encoding="utf-8") as writer:
+                    if serve_lines(service, reader, writer):
+                        return 0
+            except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+                # Peer formatting is best-effort: accept() may hand back
+                # an empty tuple for an already-dead connection.
+                peer_repr = ":".join(str(part) for part in peer[:2]) or "?"
+                announce.write(
+                    f"client disconnected ({peer_repr}): {exc!r}\n")
+                announce.flush()

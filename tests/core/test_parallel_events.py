@@ -122,7 +122,7 @@ class TestDurableEventLog:
         for info in run.shards:
             assert info["duration_s"] >= 0
             assert info["pid"]
-        assert set(run.stragglers) == {"factor", "median_s", "shards"}
+        assert set(run.stragglers) == {"factor", "min_s", "median_s", "shards"}
 
     def test_merged_result_is_scrubbed_of_shard_fields(self):
         graph, algebra, scheme = _instance()
@@ -137,6 +137,10 @@ class TestDurableEventLog:
 class TestStragglerMetric:
     def test_zero_factor_flags_all_shards(self, monkeypatch):
         monkeypatch.setenv(obs_events.STRAGGLER_FACTOR_ENV, "0")
+        # Zero the minimum-duration floor too: this tiny run's shards all
+        # finish in well under the default 50ms, and the floor exists
+        # precisely so such runs are NOT flagged by default.
+        monkeypatch.setenv(obs_events.STRAGGLER_MIN_ENV, "0")
         graph, algebra, scheme = _instance()
         telemetry_enable()
         obs_events.enable()
@@ -149,6 +153,24 @@ class TestStragglerMetric:
         assert all(info["straggler"] for info in run.shards)
         stragglers = telemetry_registry().counter("parallel.stragglers").value
         assert stragglers == len(run.shards)
+
+    def test_default_floor_unflags_submillisecond_shards(self, monkeypatch):
+        """The regression the floor fixes: factor 0 (everything over the
+        median flagged) on a sub-millisecond run flags nothing, because
+        no shard clears the 50ms minimum-duration floor."""
+        monkeypatch.setenv(obs_events.STRAGGLER_FACTOR_ENV, "0")
+        monkeypatch.delenv(obs_events.STRAGGLER_MIN_ENV, raising=False)
+        graph, algebra, scheme = _instance()
+        telemetry_enable()
+        obs_events.enable()
+        _run_parallel(graph, algebra, scheme, shard_size=60)
+        run = last_run_info()
+        assert run.stragglers["min_s"] == obs_events.DEFAULT_STRAGGLER_MIN_S
+        fast = [info for info in run.shards
+                if (info["duration_s"] or 0.0)
+                < obs_events.DEFAULT_STRAGGLER_MIN_S]
+        assert fast, "expected a sub-50ms shard on this smoke-sized run"
+        assert not any(info["straggler"] for info in fast)
 
     def test_default_factor_flags_none_on_balanced_shards(self):
         graph, algebra, scheme = _instance()

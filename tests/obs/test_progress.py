@@ -165,6 +165,55 @@ class TestRenderRunReport:
         assert "shards:" in text
         assert "events:" not in text
 
+    def test_serial_manifest_renders_no_shards_row(self):
+        # A recorded serial run (or a serial fallback) produces a
+        # manifest with an empty shard table; the report must render a
+        # placeholder row, not crash or silently omit the section.
+        manifest = events.build_manifest(
+            command="evaluate",
+            config={"policy": "shortest-path", "n": 8, "seed": 0},
+            engine={"path_engine": "python", "workers": 1},
+            started_at=100.0, finished_at=100.5,
+            shards=[],
+        )
+        text = progress.render_run_report(manifest, [])
+        assert "shards:" in text
+        assert "none (serial run)" in text
+
+    def test_all_null_shard_timings_render(self):
+        manifest = self._manifest()
+        for info in manifest["shards"]:
+            info["started_at"] = None
+            info["duration_s"] = None
+        text = progress.render_run_report(manifest, [])
+        assert "shards:" in text
+
+    def test_retry_column_and_recovery_line(self):
+        manifest = self._manifest()
+        manifest["shards"][1]["retries"] = 1
+        manifest["recovery"] = {"shards_lost": 1, "shards_retried": 1,
+                                "shards_displaced": 0, "pool_rebuilds": 1,
+                                "recovered": True}
+        text = progress.render_run_report(manifest, [])
+        shard_lines = [line for line in text.splitlines()
+                       if line.strip().startswith(("0 ", "1 "))]
+        # Column order: id pid pairs srcs hb rt start dur.
+        assert shard_lines[0].split()[5] == "0"
+        assert shard_lines[1].split()[5] == "1"
+        assert "recovery: recovered — lost 1, retried 1, displaced 0, " \
+               "pool rebuilds 1" in text
+
+    def test_renderer_rolls_back_lost_shard(self):
+        renderer = progress.ProgressRenderer(io.StringIO(), total_pairs=8)
+        renderer.handle(_event("shard_dispatched", shard=0, pairs=4))
+        renderer.handle(_event("shard_heartbeat", shard=0, pid=50,
+                               pairs_done=3, pairs_total=4))
+        assert "pairs 3/8" in renderer._status_line()
+        assert "active 1/1" in renderer._status_line()
+        renderer.handle(_event("shard_lost", shard=0, pid=50, attempt=0))
+        assert "pairs 0/8" in renderer._status_line()
+        assert "active 0/1" in renderer._status_line()
+
     def test_span_tree_orders_parents_first(self):
         lines = progress._format_span_tree([
             {"path": "a.b", "duration_s": 0.1},

@@ -135,3 +135,70 @@ def test_serve_socket_round_trip():
     assert not thread.is_alive()
     assert first["ok"] and first["op"] == "route"
     assert second["result"] == {"stopping": True}
+
+
+class _AnnounceLog:
+    """Like :class:`_Announce` but keeps every line the server logs."""
+
+    def __init__(self):
+        import threading
+
+        self.event = threading.Event()
+        self.addr = None
+        self.lines = []
+
+    def write(self, text):
+        self.lines.append(text)
+        if self.addr is None and text.startswith("listening on "):
+            head, _, port = text.strip().rpartition(":")
+            self.addr = (head.split()[-1], int(port))
+            self.event.set()
+
+    def flush(self):
+        pass
+
+
+def test_serve_socket_survives_abrupt_client_disconnect():
+    """An RST from one client must not kill the accept loop.
+
+    Pre-fix, the ConnectionResetError/BrokenPipeError raised inside
+    ``serve_lines`` propagated out of ``serve_socket`` and the server
+    thread died — the second client here would read EOF instead of a
+    route response.
+    """
+    import json
+    import socket
+    import struct
+    import threading
+
+    from repro.service import serve_socket
+
+    service = make_cli_equivalent_service(n=8, seed=1)
+    ready = _AnnounceLog()
+    thread = threading.Thread(
+        target=serve_socket,
+        kwargs={"service": service, "port": 0, "ready": ready},
+        daemon=True)
+    thread.start()
+    assert ready.event.wait(timeout=30)
+
+    # First client: send a request, then slam the connection shut with an
+    # RST (SO_LINGER with zero timeout) without reading the response.
+    rude = socket.create_connection(ready.addr, timeout=30)
+    rude.sendall(b'{"id": 1, "op": "route", "pairs": [[0, 1]]}\n')
+    rude.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0))
+    rude.close()
+
+    # Second client: the server must still be accepting and answering.
+    with socket.create_connection(ready.addr, timeout=30) as conn:
+        stream = conn.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write('{"id": 2, "op": "route", "pairs": [[0, 1]]}\n')
+        stream.write('{"id": 3, "op": "shutdown"}\n')
+        stream.flush()
+        first = stream.readline()
+        assert first, "server died after abrupt disconnect"
+        assert json.loads(first)["ok"]
+        assert json.loads(stream.readline())["result"] == {"stopping": True}
+    thread.join(timeout=30)
+    assert not thread.is_alive()
