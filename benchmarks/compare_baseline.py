@@ -19,6 +19,11 @@ metric regressed by more than the tolerance (default 20%):
   comparisons-per-edge): *lower* is worse, inverted like speedup — but
   always enforced, since counting comparisons is deterministic and CPU
   independent;
+* the batch-engine benchmark's ``batch_speedup`` (vectorized all-pairs
+  sweep vs the per-source kernel): *lower* is worse, inverted like
+  speedup and always enforced — the committed baseline holds the
+  benchmark's own acceptance bar (5x), so the gate trips when the
+  vectorized path decays back toward per-source Python speed;
 * telemetry overhead budgets (any key ending in ``_overhead_pct``, e.g.
   the event-stream benchmark's disabled-path cost): higher means the
   instrumentation eats more of the hot loop.  The baseline entry holds
@@ -96,7 +101,7 @@ def tracked_metrics(payload):
             metrics[path] = (scalar, +1)
         elif leaf == "speedup" and data.get("speedup_enforced"):
             metrics[path] = (scalar, -1)
-        elif leaf == "comparison_ratio":
+        elif leaf in ("comparison_ratio", "batch_speedup"):
             metrics[path] = (scalar, -1)
     return metrics
 

@@ -243,6 +243,35 @@ class RoutingAlgebra(abc.ABC):
         """
         raise AlgebraError(f"{self.name} declares no integer key embedding")
 
+    def integer_key_additive(self, max_hops: int) -> bool:
+        """Whether the integer key embedding is *exactly* additive.
+
+        Returning True strengthens the :meth:`integer_key_bound` contract
+        from subadditivity to equality, for all weights of paths of at
+        most *max_hops* edges:
+
+        * **exact additivity** — ``ik(w1 ⊕ w2) == ik(w1) + ik(w2)``
+          (which implies the combination of finite weights is always
+          finite: a ``phi`` result would have no key);
+        * **invertibility** — :meth:`integer_key_weight_fn` reconstructs
+          the unique realized weight from its key, i.e.
+          ``decode(ik(w)) == w`` for every such path weight.
+
+        Together these let the vectorized multi-source batch engine
+        (:mod:`repro.paths.batch`) run the whole sweep on integer arrays
+        and decode the final labels back to weight objects, bit-identical
+        to the per-source kernel.  The default declares nothing.
+        """
+        return False
+
+    def integer_key_weight_fn(self, max_hops: int):
+        """The ``key -> weight`` decode promised by :meth:`integer_key_additive`.
+
+        Only called when :meth:`integer_key_additive` returned True;
+        algebras without the capability keep the default, which raises.
+        """
+        raise AlgebraError(f"{self.name} declares no integer key decode")
+
     # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------

@@ -74,6 +74,14 @@ class ShortestPath(RoutingAlgebra):
     def integer_key_fn(self, max_hops):
         return lambda weight: weight
 
+    def integer_key_additive(self, max_hops):
+        # Keys ARE the weights and composition is integer addition, so the
+        # embedding is exactly additive and trivially invertible.
+        return True
+
+    def integer_key_weight_fn(self, max_hops):
+        return lambda key: key
+
 
 class MinHop(ShortestPath):
     """Minimum-hop routing: shortest path with unit edge weights.
@@ -252,3 +260,10 @@ class UsablePath(RoutingAlgebra):
 
     def integer_key_fn(self, max_hops):
         return lambda weight: 0
+
+    def integer_key_additive(self, max_hops):
+        # 0 + 0 == 0 and the one key decodes to the one weight.
+        return True
+
+    def integer_key_weight_fn(self, max_hops):
+        return lambda key: 1

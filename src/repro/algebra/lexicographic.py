@@ -130,6 +130,23 @@ class LexicographicProduct(RoutingAlgebra):
         k2 = self.second.integer_key_fn(max_hops)
         return lambda weight: k1(weight[0]) * b2 + k2(weight[1])
 
+    def integer_key_additive(self, max_hops):
+        # The flattened key is exactly additive iff both component keys
+        # are: ik(w ⊕ w') = (k1+k1')*b2 + (k2+k2') = ik(w) + ik(w'),
+        # using that second-component path keys stay below b2.
+        return (
+            self.first.integer_key_bound(max_hops) is not None
+            and self.second.integer_key_bound(max_hops) is not None
+            and self.first.integer_key_additive(max_hops)
+            and self.second.integer_key_additive(max_hops)
+        )
+
+    def integer_key_weight_fn(self, max_hops):
+        b2 = self.second.integer_key_bound(max_hops)
+        d1 = self.first.integer_key_weight_fn(max_hops)
+        d2 = self.second.integer_key_weight_fn(max_hops)
+        return lambda key: (d1(key // b2), d2(key % b2))
+
 
 def lexicographic_chain(*algebras: RoutingAlgebra, name=None) -> "LexicographicProduct":
     """Left-folded n-ary lexicographic product ``A1 x A2 x ... x Ak``.

@@ -489,6 +489,17 @@ def cmd_profile(args) -> int:
         for name, value in snapshot["metrics"]["counters"].items()
         if name.startswith("path_engine.")
     }
+    # The batch sub-view: whether the vectorized engine could run at all
+    # (numpy is an optional extra) plus its sweep counters
+    # (batch_sweeps / batch_sources / batch_levels / batch_relaxations /
+    # batch_improvements / batch_fallbacks).
+    from repro.paths import batch as _batch
+
+    batch_counters = {
+        name: value
+        for name, value in path_counters.items()
+        if name.startswith("path_engine.batch_")
+    }
     payload = {
         "policy": args.policy,
         "scheme": scheme.name,
@@ -502,6 +513,10 @@ def cmd_profile(args) -> int:
         "path_engine": {
             "engine": resolve_engine(),
             "counters": path_counters,
+        },
+        "batch": {
+            "numpy": _batch.numpy_available(),
+            "counters": batch_counters,
         },
         "oracle": oracle_cache.stats(),
         "protocols": protocols,

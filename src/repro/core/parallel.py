@@ -75,6 +75,7 @@ import pickle
 import queue as _queue_mod
 import threading
 import time
+import warnings
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import wait as _cf_wait
 from concurrent.futures.process import BrokenProcessPool
@@ -259,15 +260,50 @@ def shard_pairs_by_source(pairs: Sequence[Tuple], workers: int,
     return shards, index_lists
 
 
+#: Environment values already warned about (one warning per value per process).
+_WARNED_START_METHODS: set = set()
+
+
 def _start_method() -> Optional[str]:
-    """The pool start method: the env override when valid, else fork."""
+    """The pool start method: the env override when valid, else fork.
+
+    An unrecognized ``REPRO_START_METHOD`` value applies the default
+    after a one-time ``RuntimeWarning`` naming the bad value and the
+    method actually used — a typo must not silently exercise the wrong
+    start path.
+    """
     methods = multiprocessing.get_all_start_methods()
-    forced = os.environ.get(START_METHOD_ENV, "").strip().lower()
+    raw = os.environ.get(START_METHOD_ENV, "")
+    forced = raw.strip().lower()
     if forced in methods:
         return forced
-    if "fork" in methods:
-        return "fork"
-    return None  # platform default
+    default = "fork" if "fork" in methods else None
+    if forced and forced not in _WARNED_START_METHODS:
+        _WARNED_START_METHODS.add(forced)
+        applied = default if default is not None else "the platform default"
+        warnings.warn(
+            f"unrecognized {START_METHOD_ENV} value {raw.strip()!r}; "
+            f"using {applied} (recognized: {', '.join(methods)})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return default
+
+
+def _resolve_path_engine() -> str:
+    """The resolved ``REPRO_PATH_ENGINE`` choice (lazy import)."""
+    from repro.paths.kernel import resolve_engine
+
+    return resolve_engine()
+
+
+def _release_shared(handles) -> None:
+    """Close and unlink the parent's exported batch shared-memory segments."""
+    if not handles:
+        return
+    from repro.paths import batch as _batch
+
+    _batch.close_shared(handles, unlink=True)
 
 
 # ---------------------------------------------------------------------------
@@ -316,7 +352,7 @@ def _init_spawn_worker(payload: bytes, telemetry_enabled: bool,
                        started_queue=None) -> None:
     global _WORKER_STATE
     (graph, algebra, scheme, attr, max_k, trace_limit,
-     compiled) = pickle.loads(payload)
+     compiled, shared_batch) = pickle.loads(payload)
     if telemetry_enabled:
         _telemetry_enable()
     if events_enabled:
@@ -330,6 +366,14 @@ def _init_spawn_worker(payload: bytes, telemetry_enabled: bool,
         # The parent shipped its CompiledGraph (flattened from the very
         # graph in this payload), so the worker's sweeps skip recompiling.
         oracle.adopt_compiled(compiled)
+        if shared_batch is not None:
+            # Under the batch engine the parent also exported the plan's
+            # int arrays to shared memory: map them zero-copy instead of
+            # re-deriving per process.  Failure is harmless (the worker
+            # rebuilds its own arrays on first sweep).
+            from repro.paths import batch as _batch
+
+            _batch.attach_shared(compiled, algebra, shared_batch)
     _WORKER_STATE = (graph, algebra, scheme, oracle, attr, max_k, trace_limit)
     _set_started_queue(started_queue)
     # Reset *after* the oracle setup: initializer-time telemetry (the lazy
@@ -811,6 +855,7 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
         context = multiprocessing.get_context(method)
     live_queue, stop_pump = _live_event_pump(context)
 
+    shared_handles = None
     if use_fork:
         initializer, initargs = _init_fork_worker, (live_queue,)
         _WORKER_STATE = (graph, algebra, scheme, oracle, scheme.attr,
@@ -824,11 +869,24 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
             compiled_getter = getattr(oracle, "compiled_graph", None)
             if compiled_getter is not None:
                 compiled = compiled_getter()
+            # Under the batch engine, additionally export the plan's int
+            # arrays through shared memory: every worker (pool rebuilds
+            # included — they reuse these initargs) maps one copy instead
+            # of materializing its own.  The parent owns the segments and
+            # unlinks them in the finally below, after the last round.
+            shared_descriptor = None
+            if compiled is not None and _resolve_path_engine() == "batch":
+                from repro.paths import batch as _batch
+
+                shared_handles, shared_descriptor = _batch.export_shared(
+                    compiled, algebra)
             payload = pickle.dumps(
                 (graph, algebra, scheme, scheme.attr, max_k, trace_limit,
-                 compiled)
+                 compiled, shared_descriptor)
             )
         except Exception as exc:
+            _release_shared(shared_handles)
+            shared_handles = None
             stop_pump()
             return _serial_fallback(algebra, scheme, oracle, pairs, max_k,
                                     trace_limit, reason="unpicklable",
@@ -861,6 +919,7 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
                                 cause=repr(exc))
     finally:
         stop_pump()
+        _release_shared(shared_handles)
         if use_fork:
             _WORKER_STATE = None
 

@@ -364,15 +364,60 @@ class PreferredWeightOracle:
 
         A no-op for the enumeration fallback, where no per-source
         structure exists and eager enumeration over all targets would
-        cost more than the queries it serves.
+        cost more than the queries it serves.  Under
+        ``REPRO_PATH_ENGINE=batch`` (with an eligible algebra) the
+        missing trees build in vectorized multi-source sweeps
+        (:mod:`repro.paths.batch`) instead of one Python run each; the
+        per-source loop below then only counts requests and serves
+        cache hits.
         """
         if self.engine == "enumeration":
             return
-        for source in dict.fromkeys(sources):
+        ordered = list(dict.fromkeys(sources))
+        if len(ordered) > 1 and self.engine == "dijkstra":
+            self._batch_ensure(ordered)
+        for source in ordered:
             self.trees_requested += 1
             if _telemetry_enabled():
                 _telemetry().counter("oracle.trees_requested").inc()
             self._table_for(source)
+
+    def _batch_ensure(self, sources) -> None:
+        """Fill missing per-source tables with batched sweeps when eligible.
+
+        Quietly does nothing unless the batch engine resolves AND the
+        algebra/instance admit a batch plan — per-source builds then
+        proceed exactly as before (the batch engine's documented
+        per-algebra fallback).  Sources absent from the graph are left
+        for :meth:`_build_table` to raise on, preserving error behavior.
+        """
+        from repro.paths.kernel import resolve_engine
+
+        if resolve_engine() != "batch":
+            return
+        from repro.paths import batch as _batch
+
+        with self._lock:
+            missing = [s for s in sources if s not in self._tables]
+            if len(missing) < 2:
+                return
+            compiled = self._ensure_compiled()
+            if compiled is None:
+                return
+            missing = [s for s in missing if s in compiled.node_index]
+            if len(missing) < 2:
+                return
+            plan = _batch.batch_plan(compiled, self.algebra)
+            if plan is None:
+                return
+            runs = _batch.batch_trees(compiled, self.algebra, missing,
+                                      plan=plan)
+            for source, run in zip(missing, runs):
+                self._tables[source] = run.weight
+                self._parents[source] = run.parent
+            self.trees_built += len(missing)
+            if _telemetry_enabled():
+                _telemetry().counter("oracle.trees_built").inc(len(missing))
 
     def __call__(self, s, t):
         self.trees_requested += 1

@@ -1,6 +1,14 @@
 """Preferred-path engines: generalized Dijkstra, BGP automaton, SW solver,
 exhaustive enumeration, and the Lemma 1 spanning tree."""
 
+from repro.paths.batch import (
+    BatchPlan,
+    BatchStats,
+    batch_plan,
+    batch_tree,
+    batch_trees,
+    numpy_available,
+)
 from repro.paths.dijkstra import (
     PathTree,
     all_pairs_preferred_weights,
@@ -42,6 +50,12 @@ from repro.paths.valley_free import (
 )
 
 __all__ = [
+    "BatchPlan",
+    "BatchStats",
+    "batch_plan",
+    "batch_tree",
+    "batch_trees",
+    "numpy_available",
     "PathTree",
     "all_pairs_preferred_weights",
     "preferred_path_tree",

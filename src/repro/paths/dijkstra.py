@@ -92,17 +92,7 @@ def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT
     flattening across per-source runs — mandatory hygiene for all-pairs
     sweeps; single-shot callers can omit it.
     """
-    if algebra.is_right_associative:
-        raise AlgebraError(
-            f"{algebra.name} is right-associative; use the valley-free path engine"
-        )
-    declared = algebra.declared_properties()
-    if not unsafe and (declared.monotone is False or declared.isotone is False):
-        raise AlgebraError(
-            f"generalized Dijkstra requires a regular algebra; {algebra.name} declares "
-            f"monotone={declared.monotone}, isotone={declared.isotone} "
-            f"(pass unsafe=True to force)"
-        )
+    _check_tree_preconditions(algebra, unsafe)
     resolved = resolve_engine(engine)
     if resolved == "reference" and compiled is None:
         if root not in graph:
@@ -116,9 +106,35 @@ def preferred_path_tree(graph, algebra: RoutingAlgebra, root, attr: str = WEIGHT
         )
     if root not in compiled.node_index:
         raise AlgebraError(f"root {root!r} not in graph")
+    if resolved == "batch":
+        from repro.paths import batch as _batch
+
+        plan = _batch.batch_plan(compiled, algebra)
+        if plan is not None:
+            run = _batch.batch_tree(compiled, algebra, root, plan=plan)
+            return PathTree(root, run.weight, run.parent)
+        # Per-algebra fallback: ineligible instances run the (bit-identical)
+        # PR 5 kernel instead.
+        _batch.count_fallback()
+        resolved = "kernel"
     run = kernel_tree(compiled, algebra, root, buckets=(resolved == "kernel"))
     emit_stats(run.stats)
     return PathTree(root, run.weight, run.parent)
+
+
+def _check_tree_preconditions(algebra: RoutingAlgebra, unsafe: bool) -> None:
+    """The regularity guards shared by the per-source and bulk entry points."""
+    if algebra.is_right_associative:
+        raise AlgebraError(
+            f"{algebra.name} is right-associative; use the valley-free path engine"
+        )
+    declared = algebra.declared_properties()
+    if not unsafe and (declared.monotone is False or declared.isotone is False):
+        raise AlgebraError(
+            f"generalized Dijkstra requires a regular algebra; {algebra.name} declares "
+            f"monotone={declared.monotone}, isotone={declared.isotone} "
+            f"(pass unsafe=True to force)"
+        )
 
 
 def _reference_tree(graph, algebra: RoutingAlgebra, root, attr: str) -> PathTree:
@@ -185,16 +201,34 @@ def all_pairs_preferred_weights(graph, algebra: RoutingAlgebra, attr: str = WEIG
 
     Eager by design: use it when every tree is genuinely needed (e.g.
     materializing a full routing table).  The graph is compiled once and
-    shared across the per-source runs.  Evaluation workloads that touch
-    only some sources should go through the lazy
+    shared across the per-source runs.  Under ``REPRO_PATH_ENGINE=batch``
+    (with an eligible algebra) all sources run through the vectorized
+    multi-source sweeps of :mod:`repro.paths.batch` — identical trees,
+    one chunked numpy sweep instead of n Python loops.  Evaluation
+    workloads that touch only some sources should go through the lazy
     :class:`repro.core.simulate.PreferredWeightOracle` instead, which
     builds per-source trees on first query.
     """
+    resolved = resolve_engine(engine)
     compiled = None
-    if resolve_engine(engine) != "reference":
+    if resolved != "reference":
         compiled = compile_graph(graph, attr)
+    if resolved == "batch" and compiled is not None:
+        from repro.paths import batch as _batch
+
+        plan = _batch.batch_plan(compiled, algebra)
+        if plan is not None:
+            _check_tree_preconditions(algebra, unsafe)
+            nodes = list(graph.nodes())
+            runs = _batch.batch_trees(compiled, algebra, nodes, plan=plan)
+            return {
+                node: PathTree(node, run.weight, run.parent)
+                for node, run in zip(nodes, runs)
+            }
+        _batch.count_fallback()
+        resolved = "kernel"
     return {
         node: preferred_path_tree(graph, algebra, node, attr=attr, unsafe=unsafe,
-                                  engine=engine, compiled=compiled)
+                                  engine=resolved, compiled=compiled)
         for node in graph.nodes()
     }

@@ -32,8 +32,11 @@ golden-trace harness enforces this under ``REPRO_PATH_ENGINE`` in CI.
 
 Engine selection is overridable with the ``REPRO_PATH_ENGINE``
 environment variable (mirroring ``REPRO_START_METHOD``): ``kernel``
-(default; buckets where eligible), ``kernel-heap`` (compiled arrays, no
-buckets), ``reference`` (the seed engine).  See ``docs/PERFORMANCE.md``.
+(default; buckets where eligible), ``batch`` (the vectorized
+multi-source engine of :mod:`repro.paths.batch` where eligible, kernel
+otherwise), ``kernel-heap`` (compiled arrays, no buckets), ``reference``
+(the seed engine).  Unrecognized environment values warn once and apply
+the default.  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -63,7 +67,12 @@ _ENGINE_ALIASES = {
     "no-buckets": "kernel-heap",
     "reference": "reference",
     "seed": "reference",
+    "batch": "batch",
+    "vectorized": "batch",
 }
+
+#: Environment values already warned about (one warning per value per process).
+_WARNED_ENGINE_VALUES: set = set()
 
 #: Bucket arrays never exceed this many buckets, whatever the instance size.
 BUCKET_HARD_CAP = 1 << 22
@@ -80,20 +89,35 @@ def resolve_engine(engine: Optional[str] = None) -> str:
     """The canonical path-engine choice: explicit arg > environment > default.
 
     Returns one of ``"kernel"`` (compiled arrays, buckets where eligible),
-    ``"kernel-heap"`` (compiled arrays, heap frontier only) or
+    ``"batch"`` (vectorized multi-source sweeps where eligible, kernel
+    otherwise), ``"kernel-heap"`` (compiled arrays, heap frontier only) or
     ``"reference"`` (the seed networkx-walking engine).  An unrecognized
     *explicit* argument raises ``ValueError``; an unrecognized environment
-    value is ignored (mirroring ``REPRO_START_METHOD``) and the default
-    ``kernel`` applies.
+    value applies the default ``kernel`` after a one-time
+    ``RuntimeWarning`` naming the bad value — a typo in
+    ``REPRO_PATH_ENGINE`` must not silently benchmark the wrong engine.
     """
     if engine is None:
-        value = os.environ.get(ENGINE_ENV, "").strip().lower()
-        return _ENGINE_ALIASES.get(value, "kernel")
+        raw = os.environ.get(ENGINE_ENV, "")
+        value = raw.strip().lower()
+        resolved = _ENGINE_ALIASES.get(value)
+        if resolved is None:
+            if value not in _WARNED_ENGINE_VALUES:
+                _WARNED_ENGINE_VALUES.add(value)
+                warnings.warn(
+                    f"unrecognized {ENGINE_ENV} value {raw.strip()!r}; "
+                    f"using the default engine 'kernel' "
+                    f"(recognized: kernel, batch, kernel-heap, reference)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return "kernel"
+        return resolved
     value = engine.strip().lower()
     if value not in _ENGINE_ALIASES:
         raise ValueError(
             f"unknown path engine {engine!r}; pick one of "
-            f"kernel, kernel-heap, reference"
+            f"kernel, batch, kernel-heap, reference"
         )
     return _ENGINE_ALIASES[value]
 

@@ -203,3 +203,35 @@ class TestEvaluateShardedDirect:
         direct = route_shard(algebra, scheme, oracle, pairs)
         assert merged.routed == direct.routed
         assert merged.stretch == direct.stretch
+
+
+class TestStartMethodResolution:
+    def test_invalid_env_value_warns_once_and_defaults(self, monkeypatch):
+        import multiprocessing
+        import warnings
+
+        from repro.core import parallel as parallel_mod
+        from repro.core.parallel import START_METHOD_ENV, _start_method
+
+        monkeypatch.setenv(START_METHOD_ENV, "hyperthread")
+        monkeypatch.setattr(parallel_mod, "_WARNED_START_METHODS", set())
+        expected = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                    else None)
+        with pytest.warns(RuntimeWarning, match="hyperthread"):
+            assert _start_method() == expected
+        # one warning per bad value per process: the repeat is silent
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _start_method() == expected
+
+    def test_valid_env_value_does_not_warn(self, monkeypatch):
+        import warnings
+
+        from repro.core import parallel as parallel_mod
+        from repro.core.parallel import START_METHOD_ENV, _start_method
+
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        monkeypatch.setattr(parallel_mod, "_WARNED_START_METHODS", set())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _start_method() == "spawn"

@@ -2,6 +2,7 @@
 
 import pickle
 import random
+import warnings
 
 import networkx as nx
 import pytest
@@ -144,9 +145,17 @@ class TestEngineResolution:
         monkeypatch.setenv(ENGINE_ENV, "kernel-heap")
         assert resolve_engine() == "kernel-heap"
 
-    def test_invalid_env_value_is_ignored(self, monkeypatch):
+    def test_invalid_env_value_warns_once_and_defaults(self, monkeypatch):
+        from repro.paths import kernel as kernel_mod
+
         monkeypatch.setenv(ENGINE_ENV, "warp-drive")
-        assert resolve_engine() == "kernel"
+        monkeypatch.setattr(kernel_mod, "_WARNED_ENGINE_VALUES", set())
+        with pytest.warns(RuntimeWarning, match="warp-drive"):
+            assert resolve_engine() == "kernel"
+        # one warning per bad value per process: the repeat is silent
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_engine() == "kernel"
 
     def test_invalid_explicit_engine_raises(self):
         with pytest.raises(ValueError):
