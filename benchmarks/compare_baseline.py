@@ -24,6 +24,11 @@ metric regressed by more than the tolerance (default 20%):
   speedup and always enforced — the committed baseline holds the
   benchmark's own acceptance bar (5x), so the gate trips when the
   vectorized path decays back toward per-source Python speed;
+* the query-engine benchmark's ``query_speedup`` (vectorized all-pairs
+  shard evaluation vs the per-pair reference loop): *lower* is worse,
+  inverted and always enforced like ``batch_speedup`` — the committed
+  baseline holds the benchmark's own acceptance bar (4x), so the gate
+  trips when pair evaluation decays back toward per-pair Python speed;
 * telemetry overhead budgets (any key ending in ``_overhead_pct``, e.g.
   the event-stream benchmark's disabled-path cost): higher means the
   instrumentation eats more of the hot loop.  The baseline entry holds
@@ -101,7 +106,7 @@ def tracked_metrics(payload):
             metrics[path] = (scalar, +1)
         elif leaf == "speedup" and data.get("speedup_enforced"):
             metrics[path] = (scalar, -1)
-        elif leaf in ("comparison_ratio", "batch_speedup"):
+        elif leaf in ("comparison_ratio", "batch_speedup", "query_speedup"):
             metrics[path] = (scalar, -1)
     return metrics
 

@@ -500,6 +500,19 @@ def cmd_profile(args) -> int:
         for name, value in path_counters.items()
         if name.startswith("path_engine.batch_")
     }
+    # The query-engine view: the resolved pair-evaluation engine, its
+    # fallback counters from the metric snapshot, and the always-on
+    # process-local usage stats (profile runs route under telemetry, which
+    # itself forces the reference loop — the stats still show what any
+    # plain run of the same workload would have used).
+    from repro.routing import compiled_query as _compiled_query
+    from repro.routing import query_engine as _query_engine
+
+    query_counters = {
+        name: value
+        for name, value in snapshot["metrics"]["counters"].items()
+        if name.startswith("query_engine.")
+    }
     payload = {
         "policy": args.policy,
         "scheme": scheme.name,
@@ -517,6 +530,12 @@ def cmd_profile(args) -> int:
         "batch": {
             "numpy": _batch.numpy_available(),
             "counters": batch_counters,
+        },
+        "query": {
+            "engine": _query_engine.resolve_query_engine(),
+            "numpy": _compiled_query.numpy_available(),
+            "counters": query_counters,
+            "stats": _query_engine.query_stats(),
         },
         "oracle": oracle_cache.stats(),
         "protocols": protocols,

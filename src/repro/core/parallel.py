@@ -306,6 +306,22 @@ def _release_shared(handles) -> None:
     _batch.close_shared(handles, unlink=True)
 
 
+def _resolve_query_engine() -> str:
+    """The resolved ``REPRO_QUERY_ENGINE`` choice (lazy import)."""
+    from repro.routing.query_engine import resolve_query_engine
+
+    return resolve_query_engine()
+
+
+def _release_query_shared(handles) -> None:
+    """Close and unlink the parent's exported query-table segments."""
+    if not handles:
+        return
+    from repro.routing import compiled_query as _compiled_query
+
+    _compiled_query.close_shared_query(handles, unlink=True)
+
+
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
@@ -352,7 +368,7 @@ def _init_spawn_worker(payload: bytes, telemetry_enabled: bool,
                        started_queue=None) -> None:
     global _WORKER_STATE
     (graph, algebra, scheme, attr, max_k, trace_limit,
-     compiled, shared_batch) = pickle.loads(payload)
+     compiled, shared_batch, shared_query) = pickle.loads(payload)
     if telemetry_enabled:
         _telemetry_enable()
     if events_enabled:
@@ -374,6 +390,14 @@ def _init_spawn_worker(payload: bytes, telemetry_enabled: bool,
             from repro.paths import batch as _batch
 
             _batch.attach_shared(compiled, algebra, shared_batch)
+    if shared_query is not None:
+        # The parent also exported the scheme's compiled *query* tables
+        # (the vectorized shard evaluator's flat arrays): map them
+        # zero-copy and seed this worker's compile cache.  Failure is
+        # harmless — the worker compiles its own tables on first shard.
+        from repro.routing import compiled_query as _compiled_query
+
+        _compiled_query.attach_shared_query(scheme, shared_query)
     _WORKER_STATE = (graph, algebra, scheme, oracle, attr, max_k, trace_limit)
     _set_started_queue(started_queue)
     # Reset *after* the oracle setup: initializer-time telemetry (the lazy
@@ -856,6 +880,7 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
     live_queue, stop_pump = _live_event_pump(context)
 
     shared_handles = None
+    query_handles = None
     if use_fork:
         initializer, initargs = _init_fork_worker, (live_queue,)
         _WORKER_STATE = (graph, algebra, scheme, oracle, scheme.attr,
@@ -880,13 +905,28 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
 
                 shared_handles, shared_descriptor = _batch.export_shared(
                     compiled, algebra)
+            # Same treatment for the vectorized query engine's compiled
+            # scheme tables: compile once in the parent, export the int
+            # arrays, and let every spawn worker attach zero-copy.  Only
+            # worth it when the engine will actually run (telemetry
+            # forces the reference loop for trace fidelity).
+            query_descriptor = None
+            if not telemetry and _resolve_query_engine() == "batch":
+                from repro.routing import compiled_query as _compiled_query
+
+                query_tables = _compiled_query.compile_query(scheme)
+                if query_tables is not None:
+                    query_handles, query_descriptor = (
+                        _compiled_query.export_shared_query(query_tables))
             payload = pickle.dumps(
                 (graph, algebra, scheme, scheme.attr, max_k, trace_limit,
-                 compiled, shared_descriptor)
+                 compiled, shared_descriptor, query_descriptor)
             )
         except Exception as exc:
             _release_shared(shared_handles)
             shared_handles = None
+            _release_query_shared(query_handles)
+            query_handles = None
             stop_pump()
             return _serial_fallback(algebra, scheme, oracle, pairs, max_k,
                                     trace_limit, reason="unpicklable",
@@ -920,6 +960,7 @@ def evaluate_sharded(graph, algebra, scheme, oracle, pairs: Sequence[Tuple],
     finally:
         stop_pump()
         _release_shared(shared_handles)
+        _release_query_shared(query_handles)
         if use_fork:
             _WORKER_STATE = None
 

@@ -55,6 +55,7 @@ from repro.exceptions import ReproError
 from repro.graphs.weighting import WEIGHT_ATTR
 from repro.routing.memory import MemoryReport, memory_report
 from repro.routing.model import RoutingScheme
+from repro.routing import query_engine as _query_engine
 from repro.routing.stretch import StretchReport, measure_stretch
 
 #: Oracle signature: (source, target) -> preferred weight (PHI if unreachable).
@@ -920,13 +921,17 @@ def route_shard(algebra: RoutingAlgebra, scheme: RoutingScheme,
     registry = _telemetry()
     events_on = _events.enabled()
     pairs = list(pairs)
+    # The shard's distinct sources in first-appearance order — the same
+    # order ``ensure_sources`` would dedup to, materialized once for both
+    # the bulk build and the event payload.
+    shard_sources = list(dict.fromkeys(s for s, _ in pairs))
     if hasattr(oracle, "ensure_sources"):
         built_before = getattr(oracle, "trees_built", 0)
         with _obs_tracing.span("oracle_trees", scheme=scheme.name):
-            oracle.ensure_sources(s for s, _ in pairs)
+            oracle.ensure_sources(shard_sources)
         if events_on:
             _events.emit("oracle_trees_built",
-                         sources=len({s for s, _ in pairs}),
+                         sources=len(shard_sources),
                          built=getattr(oracle, "trees_built", 0) - built_before)
     if events_on:
         # At least one durable heartbeat per shard, then one every
@@ -935,6 +940,35 @@ def route_shard(algebra: RoutingAlgebra, scheme: RoutingScheme,
         _events.emit("shard_heartbeat", pairs_done=0, pairs_total=len(pairs))
         heartbeat_stride = max(1, len(pairs) // HEARTBEATS_PER_SHARD)
         last_live_heartbeat = time.monotonic()
+    if _query_engine.resolve_query_engine() == "batch":
+        # The vectorized engine cannot reproduce per-hop artifacts (packet
+        # traces, evaluate.hops/pair_seconds histograms), so any run that
+        # records them takes the reference loop; plain throughput runs go
+        # vectorized with per-scheme fallback inside evaluate_shard.
+        if telemetry or _obs_tracing.active_capture() is not None:
+            _query_engine.count_query_fallback("trace-fidelity",
+                                               pairs=len(pairs))
+        else:
+            from repro.routing import compiled_query as _compiled_query
+            batch = _compiled_query.evaluate_shard(algebra, scheme, oracle,
+                                                   pairs)
+            if batch is not None:
+                routed, delivered, optimal, failures, samples = batch
+                if events_on:
+                    # Replicate the reference loop's durable heartbeat
+                    # cadence so the shard's event stream is engine-proof.
+                    for done in range(heartbeat_stride, len(pairs) + 1,
+                                      heartbeat_stride):
+                        _events.emit("shard_heartbeat", pairs_done=done,
+                                     pairs_total=len(pairs))
+                stretch = measure_stretch(algebra, samples,
+                                          scheme_name=scheme.name,
+                                          max_k=max_k)
+                return ShardResult(
+                    routed=routed, delivered=delivered, optimal=optimal,
+                    stretch=stretch, failures=failures, traces=(),
+                    traces_dropped=0,
+                )
     processed = 0
     routed = 0
     delivered = 0
